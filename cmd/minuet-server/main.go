@@ -1,0 +1,56 @@
+// Command minuet-server runs a single Sinfonia memnode as a standalone TCP
+// process. A Minuet cluster is a set of these plus any number of proxies
+// (see cmd/minuet-load for a proxy-side driver).
+//
+// Usage:
+//
+//	minuet-server -id 0 -listen :7070
+//	minuet-server -id 1 -listen :7071 -backup-id 0 -backup-addr host0:7070
+//
+// With -backup-* set, this memnode synchronously replicates every committed
+// write batch to the named backup node.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"minuet/internal/netsim"
+	"minuet/internal/rpcnet"
+	"minuet/internal/sinfonia"
+)
+
+func main() {
+	var (
+		id         = flag.Int("id", 0, "this memnode's node id")
+		listen     = flag.String("listen", ":7070", "TCP listen address")
+		backupID   = flag.Int("backup-id", -1, "node id of the backup memnode (-1 = none)")
+		backupAddr = flag.String("backup-addr", "", "TCP address of the backup memnode")
+	)
+	flag.Parse()
+
+	mn := sinfonia.NewMemnode(sinfonia.NodeID(*id))
+	if *backupID >= 0 {
+		if *backupAddr == "" {
+			log.Fatal("minuet-server: -backup-id requires -backup-addr")
+		}
+		tr := rpcnet.NewClient(map[netsim.NodeID]string{netsim.NodeID(*backupID): *backupAddr})
+		mn.SetBackup(tr, sinfonia.NodeID(*backupID))
+	}
+
+	srv, err := rpcnet.Listen(*listen, mn)
+	if err != nil {
+		log.Fatalf("minuet-server: %v", err)
+	}
+	fmt.Printf("memnode %d serving on %s\n", *id, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	srv.Close()
+}

@@ -1,0 +1,132 @@
+// Command minuet-ycsb runs a YCSB workload (core presets A-F or a custom
+// mix) against an in-process Minuet cluster and prints a YCSB-style report.
+//
+// Usage:
+//
+//	minuet-ycsb -workload a -machines 4 -records 100000 -duration 10s
+//	minuet-ycsb -read 0.9 -update 0.05 -insert 0.05 -zipfian
+//	minuet-ycsb -workload e -scanlen 200          # short ranges
+//	minuet-ycsb -workload a -legacy               # dirty traversals OFF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"minuet"
+	"minuet/internal/ycsb"
+)
+
+func main() {
+	var (
+		machines = flag.Int("machines", 4, "simulated machines (memnode+proxy each)")
+		latency  = flag.Duration("latency", 50*time.Microsecond, "one-way network latency")
+		records  = flag.Uint64("records", 50_000, "records loaded before the run")
+		threads  = flag.Int("threads", 32, "client threads")
+		duration = flag.Duration("duration", 5*time.Second, "measurement window")
+		workload = flag.String("workload", "", "YCSB core preset a-f (overrides the mix flags)")
+		readP    = flag.Float64("read", 0.95, "read proportion")
+		updateP  = flag.Float64("update", 0.05, "update proportion")
+		insertP  = flag.Float64("insert", 0, "insert proportion")
+		scanP    = flag.Float64("scan", 0, "scan proportion")
+		scanLen  = flag.Int("scanlen", 100, "keys per scan")
+		zipf     = flag.Bool("zipfian", false, "Zipfian key distribution (default uniform)")
+		legacy   = flag.Bool("legacy", false, "disable dirty traversals (Aguilera et al. mode)")
+		target   = flag.Float64("target", 0, "target ops/sec (0 = open loop)")
+	)
+	flag.Parse()
+
+	c := minuet.NewCluster(minuet.Options{
+		Machines:         *machines,
+		NetworkLatency:   *latency,
+		Replicate:        *machines > 1,
+		LegacyTraversals: *legacy,
+	})
+	defer c.Close()
+	tree, err := c.CreateTree("ycsb")
+	if err != nil {
+		fatalf("create tree: %v", err)
+	}
+
+	var w ycsb.Workload
+	if *workload != "" {
+		var ok bool
+		if w, ok = ycsb.Preset(*workload, *records); !ok {
+			fatalf("unknown workload preset %q (want a-f)", *workload)
+		}
+	} else {
+		w = ycsb.Workload{
+			ReadProp: *readP, UpdateProp: *updateP, InsertProp: *insertP, ScanProp: *scanP,
+			ScanLength: *scanLen, RecordCount: *records,
+		}
+		if *zipf {
+			w.Gen = ycsb.NewZipfian(true)
+		}
+	}
+	if w.ScanLength == 0 {
+		w.ScanLength = *scanLen
+	}
+
+	db := &treeDB{tree: tree}
+	fmt.Printf("loading %d records on %d machines...\n", *records, *machines)
+	t0 := time.Now()
+	if err := ycsb.Load(db, 0, *records, *threads); err != nil {
+		fatalf("load: %v", err)
+	}
+	fmt.Printf("loaded in %v (%.0f ops/s)\n", time.Since(t0).Round(time.Millisecond),
+		float64(*records)/time.Since(t0).Seconds())
+
+	runner := &ycsb.Runner{DB: db, W: w, Threads: *threads, TargetOpsPerSec: *target}
+	rep := runner.Run(*duration)
+
+	fmt.Printf("\n[OVERALL] throughput %.1f ops/sec, %d ops, %d errors, %v elapsed\n",
+		rep.Throughput, rep.Ops, rep.Errors, rep.Duration.Round(time.Millisecond))
+	for _, kind := range []ycsb.OpKind{ycsb.OpRead, ycsb.OpUpdate, ycsb.OpInsert, ycsb.OpScan} {
+		s := rep.PerOp[kind]
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("[%s] count=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+			kind, s.Count, s.Mean, s.P50, s.P95, s.P99, s.Max)
+	}
+	if rep.KeysScanned > 0 {
+		fmt.Printf("[SCAN] %.0f keys/sec\n", float64(rep.KeysScanned)/rep.Duration.Seconds())
+	}
+	st := tree.Stats()
+	fmt.Printf("[TREE] ops=%d retries=%d splits=%d cow=%d cache-hit=%.1f%%\n",
+		st.Ops, st.Retries, st.Splits, st.CopyOnWr,
+		100*float64(st.CacheHits)/float64(max64(st.CacheHits+st.CacheMiss, 1)))
+}
+
+// treeDB adapts the public Tree to ycsb.DB, scanning through snapshots as
+// the paper's long-scan strategy prescribes.
+type treeDB struct{ tree *minuet.Tree }
+
+func (d *treeDB) Read(key []byte) error {
+	_, _, err := d.tree.Get(key)
+	return err
+}
+func (d *treeDB) Update(key, val []byte) error { return d.tree.Put(key, val) }
+func (d *treeDB) Insert(key, val []byte) error { return d.tree.Put(key, val) }
+func (d *treeDB) Scan(start []byte, count int) error {
+	snap, _, err := d.tree.SnapshotBorrowed()
+	if err != nil {
+		return err
+	}
+	_, err = d.tree.ScanSnapshot(snap, start, count)
+	return err
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "minuet-ycsb: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,139 @@
+// Analytics: the paper's motivating scenario (§1) — an e-commerce site
+// tracking orders with a high-rate transactional workload while analysts
+// run long scans over the same data.
+//
+// Without snapshots, a long scan at the tip keeps aborting: every update
+// inside the scanned range invalidates its read set. With a copy-on-write
+// snapshot, the same scan runs once, undisturbed, on a consistent cut, and
+// the OLTP workload barely notices.
+//
+//	go run ./examples/analytics
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minuet"
+)
+
+const (
+	customers = 2_000
+	runFor    = 2 * time.Second
+)
+
+func custKey(i int) []byte { return []byte(fmt.Sprintf("cust%08d", i)) }
+
+func spend(cents uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], cents)
+	return b[:]
+}
+
+func main() {
+	c := minuet.NewCluster(minuet.Options{Machines: 4, NetworkLatency: 30 * time.Microsecond})
+	defer c.Close()
+	tree, err := c.CreateTree("orders")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed: every customer starts with $100.00 of lifetime spend.
+	for i := 0; i < customers; i++ {
+		if err := tree.Put(custKey(i), spend(10_000)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// OLTP: 8 writers continuously record purchases (+ $5.00 each).
+	var (
+		stop    = make(chan struct{})
+		writes  atomic.Int64
+		writeWG sync.WaitGroup
+	)
+	for w := 0; w < 8; w++ {
+		// Each "application server" runs against its own proxy.
+		t, err := c.OpenTree("orders", w%c.Machines())
+		if err != nil {
+			log.Fatal(err)
+		}
+		writeWG.Add(1)
+		go func(w int, t *minuet.Tree) {
+			defer writeWG.Done()
+			i := w
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := custKey(i % customers)
+				if v, ok, err := t.Get(k); err == nil && ok {
+					cur := binary.LittleEndian.Uint64(v)
+					_ = t.Put(k, spend(cur+500))
+					writes.Add(1)
+				}
+				i += 7
+			}
+		}(w, t)
+	}
+
+	// Analytics, attempt 1: a strictly serializable tip scan of the whole
+	// table. Under this write rate it mostly burns retries.
+	tipScanDone := make(chan bool, 1)
+	go func() {
+		_, err := tree.Scan(nil, customers)
+		tipScanDone <- err == nil
+	}()
+	select {
+	case ok := <-tipScanDone:
+		fmt.Printf("tip scan finished (succeeded=%v) — possible, but it raced %d writers\n", ok, 8)
+	case <-time.After(runFor / 2):
+		fmt.Println("tip scan still fighting aborts after", runFor/2, "— exactly why the paper scans snapshots")
+	}
+
+	// Analytics, attempt 2: freeze a snapshot and aggregate it in peace.
+	before := writes.Load()
+	t0 := time.Now()
+	snap, err := tree.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := tree.ScanSnapshot(snap, nil, customers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var total uint64
+	top, topCust := uint64(0), -1
+	for i, kv := range rows {
+		v := binary.LittleEndian.Uint64(kv.Val)
+		total += v
+		if v > top {
+			top, topCust = v, i
+		}
+	}
+	scanDur := time.Since(t0)
+	during := writes.Load() - before
+
+	fmt.Printf("snapshot %d: scanned %d customers in %v while %d updates committed concurrently\n",
+		snap.Sid, len(rows), scanDur.Round(time.Millisecond), during)
+	fmt.Printf("  total lifetime spend: $%.2f   biggest spender: customer %d ($%.2f)\n",
+		float64(total)/100, topCust, float64(top)/100)
+
+	// The snapshot is a consistent cut: re-aggregating it gives the same
+	// answer even though the tip has moved on.
+	rows2, _ := tree.ScanSnapshot(snap, nil, customers)
+	var total2 uint64
+	for _, kv := range rows2 {
+		total2 += binary.LittleEndian.Uint64(kv.Val)
+	}
+	fmt.Printf("  re-scan of the same snapshot: $%.2f (unchanged=%v)\n", float64(total2)/100, total == total2)
+
+	close(stop)
+	writeWG.Wait()
+	fmt.Printf("OLTP completed %d purchase updates total\n", writes.Load())
+}

@@ -1,0 +1,221 @@
+package cdb
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newDB(t *testing.T, partitions, tables int) *DB {
+	t.Helper()
+	db := New(Config{Partitions: partitions, Tables: tables, ProcTime: 1})
+	t.Cleanup(db.Stop)
+	return db
+}
+
+func TestReadUpsert(t *testing.T) {
+	db := newDB(t, 3, 1)
+	if err := db.Upsert(0, []byte("k1"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Read(0, []byte("k1"))
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("%q %v %v", v, ok, err)
+	}
+	_, ok, err = db.Read(0, []byte("missing"))
+	if err != nil || ok {
+		t.Fatalf("missing: %v %v", ok, err)
+	}
+	// Overwrite.
+	if err := db.Upsert(0, []byte("k1"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = db.Read(0, []byte("k1"))
+	if string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+}
+
+func TestTablesIndependent(t *testing.T) {
+	db := newDB(t, 2, 2)
+	db.Upsert(0, []byte("k"), []byte("t0")) //nolint:errcheck
+	db.Upsert(1, []byte("k"), []byte("t1")) //nolint:errcheck
+	v0, _, _ := db.Read(0, []byte("k"))
+	v1, _, _ := db.Read(1, []byte("k"))
+	if string(v0) != "t0" || string(v1) != "t1" {
+		t.Fatalf("tables bleed: %q %q", v0, v1)
+	}
+}
+
+func TestScanOrderedAcrossPartitions(t *testing.T) {
+	db := newDB(t, 4, 1)
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key%05d", i)
+		if err := db.Upsert(0, []byte(k), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := db.Scan(0, []byte("key00050"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 100 {
+		t.Fatalf("scan rows %d", len(rows))
+	}
+	if string(rows[0].Key) != "key00050" {
+		t.Fatalf("scan start %q", rows[0].Key)
+	}
+	for i := 1; i < len(rows); i++ {
+		if bytes.Compare(rows[i-1].Key, rows[i].Key) >= 0 {
+			t.Fatalf("scan out of order at %d", i)
+		}
+	}
+}
+
+func TestScanMemoryLimit(t *testing.T) {
+	db := New(Config{Partitions: 2, ScanRowLimit: 100, ProcTime: 1})
+	defer db.Stop()
+	_, err := db.Scan(0, nil, 101)
+	if !errors.Is(err, ErrScanMemoryLimit) {
+		t.Fatalf("want ErrScanMemoryLimit, got %v", err)
+	}
+	if _, err := db.Scan(0, nil, 100); err != nil {
+		t.Fatalf("at-limit scan: %v", err)
+	}
+}
+
+func TestMultiUpsertAtomicVisibility(t *testing.T) {
+	db := newDB(t, 4, 2)
+	keys := [][]byte{[]byte("a"), []byte("b")}
+	if err := db.MultiUpsert([]int{0, 1}, keys, [][]byte{[]byte("x"), []byte("y")}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := db.MultiRead([]int{0, 1}, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(vals[0]) != "x" || string(vals[1]) != "y" {
+		t.Fatalf("multi read: %q %q", vals[0], vals[1])
+	}
+}
+
+// TestMultiPartitionSerializability: concurrent multi-partition transfers
+// between two rows keep their sum invariant, as observed by concurrent
+// multi-reads — the global fence must serialize them.
+func TestMultiPartitionSerializability(t *testing.T) {
+	db := newDB(t, 4, 1)
+	enc := func(v int) []byte { return []byte{byte(v)} }
+	if err := db.MultiUpsert([]int{0, 0}, [][]byte{[]byte("acct-a"), []byte("acct-b")}, [][]byte{enc(100), enc(100)}); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			vals, err := db.MultiRead([]int{0, 0}, [][]byte{[]byte("acct-a"), []byte("acct-b")})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if sum := int(vals[0][0]) + int(vals[1][0]); sum != 200 {
+				t.Errorf("invariant broken: %d", sum)
+				return
+			}
+		}
+	}()
+
+	var transfers sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		transfers.Add(1)
+		go func() {
+			defer transfers.Done()
+			for i := 0; i < 20; i++ {
+				// A stored procedure: read both rows, move one unit, write
+				// both — atomically inside one fenced multi-partition txn.
+				err := db.multiPartition(true, func() {
+					pa := db.partitionFor([]byte("acct-a"))
+					pb := db.partitionFor([]byte("acct-b"))
+					a := int(pa.tables[0].m["acct-a"][0])
+					b := int(pb.tables[0].m["acct-b"][0])
+					pa.tables[0].upsert("acct-a", enc(a-1))
+					pb.tables[0].upsert("acct-b", enc(b+1))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	transfers.Wait()
+	close(stop)
+	readers.Wait()
+
+	vals, err := db.MultiRead([]int{0, 0}, [][]byte{[]byte("acct-a"), []byte("acct-b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := int(vals[0][0]), int(vals[1][0])
+	if a != 40 || b != 160 {
+		t.Fatalf("after 60 transfers: a=%d b=%d", a, b)
+	}
+}
+
+func TestRowsCount(t *testing.T) {
+	db := newDB(t, 3, 1)
+	for i := 0; i < 42; i++ {
+		db.Upsert(0, []byte(fmt.Sprintf("k%d", i)), []byte("v")) //nolint:errcheck
+	}
+	if got := db.Rows(0); got != 42 {
+		t.Fatalf("rows %d", got)
+	}
+}
+
+func TestStoppedErrors(t *testing.T) {
+	db := New(Config{Partitions: 2, ProcTime: 1})
+	db.Stop()
+	if err := db.Upsert(0, []byte("k"), []byte("v")); !errors.Is(err, ErrStopped) {
+		t.Fatalf("upsert after stop: %v", err)
+	}
+	if _, err := db.MultiRead([]int{0}, [][]byte{[]byte("k")}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("multiread after stop: %v", err)
+	}
+	db.Stop() // idempotent
+}
+
+func TestConcurrentSingleKeyOps(t *testing.T) {
+	db := newDB(t, 4, 1)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := []byte(fmt.Sprintf("g%d-%d", g, i))
+				if err := db.Upsert(0, k, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok, err := db.Read(0, k); err != nil || !ok {
+					t.Errorf("read back %s: %v %v", k, ok, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Rows(0) != 800 {
+		t.Fatalf("rows %d", db.Rows(0))
+	}
+}

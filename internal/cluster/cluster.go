@@ -1,0 +1,278 @@
+// Package cluster assembles an in-process Minuet deployment mirroring the
+// paper's experimental layout (Fig 9): each simulated machine runs one
+// memnode and one proxy, connected by a latency-injecting transport.
+// Primary-backup replication pairs each memnode with the next machine's
+// memnode, matching "each server acts as both a primary node and a backup".
+//
+// The cluster also hosts the snapshot creation service (§4.3): one SCS per
+// tree, exported over the transport as an RPC endpoint so that proxies pay
+// a network round trip to create or borrow snapshots, exactly as clients of
+// the paper's centralized service do.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"minuet/internal/alloc"
+	"minuet/internal/core"
+	"minuet/internal/netsim"
+	"minuet/internal/sinfonia"
+)
+
+// scsNodeID is the transport address of the snapshot creation service.
+const scsNodeID netsim.NodeID = 1 << 20
+
+// Config describes a simulated cluster.
+type Config struct {
+	// Machines is the number of simulated hosts (memnode + proxy each).
+	Machines int
+	// OneWayLatency is the injected one-way network latency (default 50 µs,
+	// a 10 GigE data-center LAN figure).
+	OneWayLatency time.Duration
+	// Replicate enables primary-backup replication memnode i → i+1 mod n.
+	Replicate bool
+	// Tree is the default configuration for trees created on this cluster.
+	Tree core.Config
+	// AllocExtent is the allocator's per-CAS extent size in blocks.
+	AllocExtent int
+}
+
+// FillDefaults populates zero fields.
+func (c *Config) FillDefaults() {
+	if c.Machines == 0 {
+		c.Machines = 1
+	}
+	if c.AllocExtent == 0 {
+		c.AllocExtent = 64
+	}
+	c.Tree.FillDefaults()
+}
+
+// Proxy is one machine's proxy process: a Sinfonia client, an allocator,
+// and per-tree B-tree handles with private caches.
+type Proxy struct {
+	Index  int
+	Client *sinfonia.Client
+	Alloc  *alloc.Allocator
+	Local  sinfonia.NodeID
+
+	mu    sync.Mutex
+	trees map[int]*core.BTree
+	cl    *Cluster
+}
+
+// Cluster is an assembled deployment.
+type Cluster struct {
+	cfg      Config
+	tr       *netsim.Local
+	memnodes []*sinfonia.Memnode
+	proxies  []*Proxy
+
+	recovery *sinfonia.RecoveryCoordinator
+
+	mu    sync.Mutex
+	scs   map[int]*core.SCS // treeIdx -> service (hosted on machine 0)
+	trees int
+}
+
+// SCS RPC messages.
+type snapshotReq struct {
+	Tree int
+}
+
+type snapshotResp struct {
+	Sid      uint64
+	RootNode sinfonia.NodeID
+	RootAddr sinfonia.Addr
+	Borrowed bool
+}
+
+// New builds a cluster.
+func New(cfg Config) *Cluster {
+	cfg.FillDefaults()
+	cl := &Cluster{
+		cfg: cfg,
+		tr:  netsim.NewLocal(cfg.OneWayLatency),
+		scs: make(map[int]*core.SCS),
+	}
+	nodes := make([]sinfonia.NodeID, cfg.Machines)
+	for i := 0; i < cfg.Machines; i++ {
+		id := sinfonia.NodeID(i)
+		nodes[i] = id
+		mn := sinfonia.NewMemnode(id)
+		cl.memnodes = append(cl.memnodes, mn)
+		cl.tr.Bind(id, mn)
+	}
+	if cfg.Replicate && cfg.Machines > 1 {
+		for i, mn := range cl.memnodes {
+			mn.SetBackup(cl.tr, nodes[(i+1)%len(nodes)])
+		}
+	}
+	for i := 0; i < cfg.Machines; i++ {
+		c := sinfonia.NewClient(cl.tr, nodes)
+		cl.proxies = append(cl.proxies, &Proxy{
+			Index:  i,
+			Client: c,
+			Alloc:  alloc.New(c, cfg.Tree.NodeSize, cfg.AllocExtent),
+			Local:  nodes[i],
+			trees:  make(map[int]*core.BTree),
+			cl:     cl,
+		})
+	}
+	// The snapshot creation service runs on machine 0 and is reached over
+	// the transport like any other node.
+	cl.tr.Bind(scsNodeID, netsim.HandlerFunc(cl.handleSCS))
+	// The recovery coordinator (Sinfonia's management process) resolves
+	// minitransactions orphaned by crashed proxies; experiments and tests
+	// trigger sweeps explicitly or run it in the background.
+	cl.recovery = sinfonia.NewRecoveryCoordinator(cl.tr, nodes)
+	return cl
+}
+
+// Recovery returns the cluster's recovery coordinator.
+func (cl *Cluster) Recovery() *sinfonia.RecoveryCoordinator { return cl.recovery }
+
+// Config returns the cluster's configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// Transport exposes the underlying transport (stats, fault injection).
+func (cl *Cluster) Transport() *netsim.Local { return cl.tr }
+
+// Machines returns the machine count.
+func (cl *Cluster) Machines() int { return cl.cfg.Machines }
+
+// Proxy returns machine i's proxy.
+func (cl *Cluster) Proxy(i int) *Proxy { return cl.proxies[i%len(cl.proxies)] }
+
+// CreateTree initializes tree treeIdx with the cluster's default tree
+// configuration and registers an SCS for it.
+func (cl *Cluster) CreateTree(treeIdx int) error {
+	p0 := cl.proxies[0]
+	bt, err := core.Create(p0.Client, p0.Alloc, treeIdx, p0.Local, cl.cfg.Tree)
+	if err != nil {
+		return err
+	}
+	p0.mu.Lock()
+	p0.trees[treeIdx] = bt
+	p0.mu.Unlock()
+
+	cl.mu.Lock()
+	cl.scs[treeIdx] = core.NewSCS(bt)
+	if treeIdx >= cl.trees {
+		cl.trees = treeIdx + 1
+	}
+	cl.mu.Unlock()
+	return nil
+}
+
+// Tree returns proxy p's handle onto treeIdx, opening it on first use.
+func (p *Proxy) Tree(treeIdx int) (*core.BTree, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if bt, ok := p.trees[treeIdx]; ok {
+		return bt, nil
+	}
+	bt, err := core.Open(p.Client, p.Alloc, treeIdx, p.Local, p.cl.cfg.Tree)
+	if err != nil {
+		return nil, err
+	}
+	p.trees[treeIdx] = bt
+	return bt, nil
+}
+
+// MustTree is Tree for callers that already created the tree.
+func (p *Proxy) MustTree(treeIdx int) *core.BTree {
+	bt, err := p.Tree(treeIdx)
+	if err != nil {
+		panic(err)
+	}
+	return bt
+}
+
+// handleSCS services snapshot-creation RPCs on machine 0.
+func (cl *Cluster) handleSCS(req any) (any, error) {
+	r, ok := req.(*snapshotReq)
+	if !ok {
+		return nil, fmt.Errorf("cluster: bad SCS request %T", req)
+	}
+	cl.mu.Lock()
+	svc := cl.scs[r.Tree]
+	cl.mu.Unlock()
+	if svc == nil {
+		return nil, fmt.Errorf("cluster: no SCS for tree %d", r.Tree)
+	}
+	snap, borrowed, err := svc.Create()
+	if err != nil {
+		return nil, err
+	}
+	return &snapshotResp{Sid: snap.Sid, RootNode: snap.Root.Node, RootAddr: snap.Root.Addr, Borrowed: borrowed}, nil
+}
+
+// Snapshot requests a snapshot of treeIdx through the cluster's snapshot
+// creation service (one RPC round trip plus whatever the service does).
+func (p *Proxy) Snapshot(treeIdx int) (core.Snapshot, bool, error) {
+	resp, err := p.Client.Transport().Call(scsNodeID, &snapshotReq{Tree: treeIdx})
+	if err != nil {
+		return core.Snapshot{}, false, err
+	}
+	sr, ok := resp.(*snapshotResp)
+	if !ok {
+		return core.Snapshot{}, false, fmt.Errorf("cluster: bad SCS response %T", resp)
+	}
+	return core.Snapshot{Sid: sr.Sid, Root: sinfonia.Ptr{Node: sr.RootNode, Addr: sr.RootAddr}}, sr.Borrowed, nil
+}
+
+// SCS returns the snapshot creation service for a tree (to set MinInterval
+// or disable borrowing in experiments).
+func (cl *Cluster) SCS(treeIdx int) *core.SCS {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.scs[treeIdx]
+}
+
+// RunGC advances treeIdx's watermark to keep only the most recent
+// `keepRecent` snapshots and frees collectible nodes. Machine 0 owns
+// garbage collection.
+func (cl *Cluster) RunGC(treeIdx int, keepRecent uint64) (int, error) {
+	bt, err := cl.proxies[0].Tree(treeIdx)
+	if err != nil {
+		return 0, err
+	}
+	return bt.RunGCKeepRecent(keepRecent)
+}
+
+// CrashMachine takes machine i's memnode offline.
+func (cl *Cluster) CrashMachine(i int) {
+	cl.tr.SetDown(sinfonia.NodeID(i), true)
+}
+
+// RecoverMachine promotes machine i's backup (hosted on machine i+1) and
+// rebinds it under the crashed memnode's identity, then brings the address
+// back online. Requires Replicate.
+func (cl *Cluster) RecoverMachine(i int) error {
+	if !cl.cfg.Replicate {
+		return fmt.Errorf("cluster: replication disabled")
+	}
+	backupHost := cl.memnodes[(i+1)%len(cl.memnodes)]
+	promoted := backupHost.PromoteReplica(sinfonia.NodeID(i))
+	cl.memnodes[i] = promoted
+	cl.tr.Bind(sinfonia.NodeID(i), promoted)
+	cl.tr.SetDown(sinfonia.NodeID(i), false)
+	return nil
+}
+
+// MemnodeStats returns each memnode's counters via the wire protocol.
+func (cl *Cluster) MemnodeStats() ([]*sinfonia.StatsResp, error) {
+	c := cl.proxies[0].Client
+	out := make([]*sinfonia.StatsResp, cl.cfg.Machines)
+	for i := 0; i < cl.cfg.Machines; i++ {
+		st, err := c.Stats(sinfonia.NodeID(i))
+		if err != nil {
+			return nil, err
+		}
+		out[i] = st
+	}
+	return out, nil
+}

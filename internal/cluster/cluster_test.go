@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"minuet/internal/core"
+)
+
+func testCfg(machines int) Config {
+	return Config{
+		Machines: machines,
+		Tree: core.Config{
+			NodeSize:        512,
+			MaxLeafKeys:     8,
+			MaxInnerKeys:    8,
+			DirtyTraversals: true,
+		},
+	}
+}
+
+func TestCreateAndUseTree(t *testing.T) {
+	cl := New(testCfg(3))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	bt := cl.Proxy(1).MustTree(0)
+	for i := 0; i < 50; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Another proxy sees the data.
+	bt2 := cl.Proxy(2).MustTree(0)
+	v, ok, err := bt2.Get([]byte("k007"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("cross-proxy read: %q %v %v", v, ok, err)
+	}
+}
+
+func TestSnapshotServiceRPC(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	bt := cl.Proxy(1).MustTree(0)
+	if err := bt.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	snap, borrowed, err := cl.Proxy(1).Snapshot(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if borrowed {
+		t.Fatal("first snapshot cannot be borrowed")
+	}
+	if err := bt.Put([]byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := bt.GetSnap(snap, []byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("snapshot read via SCS: %q %v %v", v, ok, err)
+	}
+}
+
+func TestSnapshotBorrowingUnderConcurrency(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	borrowedCount := 0
+	var mu sync.Mutex
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, borrowed, err := cl.Proxy(i % 2).Snapshot(0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if borrowed {
+				mu.Lock()
+				borrowedCount++
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	created, borrowed := cl.SCS(0).Counters()
+	if created+borrowed != 32 {
+		t.Fatalf("SCS counters %d+%d != 32", created, borrowed)
+	}
+	if borrowedCount != int(borrowed) {
+		t.Fatalf("borrow flags disagree: %d vs %d", borrowedCount, borrowed)
+	}
+}
+
+func TestMissingSCS(t *testing.T) {
+	cl := New(testCfg(1))
+	if _, _, err := cl.Proxy(0).Snapshot(7); err == nil {
+		t.Fatal("snapshot of unknown tree must fail")
+	}
+}
+
+func TestGCThroughCluster(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	bt := cl.Proxy(0).MustTree(0)
+	for i := 0; i < 100; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= 3; round++ {
+		if _, _, err := cl.Proxy(0).Snapshot(0); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 100; i++ {
+			if err := bt.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	freed, err := cl.RunGC(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if freed == 0 {
+		t.Fatal("GC freed nothing")
+	}
+	v, ok, _ := bt.Get([]byte("k050"))
+	if !ok || string(v) != "v3" {
+		t.Fatalf("tip damaged by GC: %q %v", v, ok)
+	}
+}
+
+func TestCrashAndRecoverMachine(t *testing.T) {
+	cfg := testCfg(3)
+	cfg.Replicate = true
+	cl := New(cfg)
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	bt := cl.Proxy(0).MustTree(0)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash machine 1's memnode and promote its backup.
+	cl.CrashMachine(1)
+	if err := cl.RecoverMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	// Every key is still readable (some leaves lived on memnode 1).
+	for i := 0; i < n; i++ {
+		v, ok, err := bt.Get([]byte(fmt.Sprintf("k%03d", i)))
+		if err != nil || !ok || string(v) != "v" {
+			t.Fatalf("key %d after fail-over: %q %v %v", i, v, ok, err)
+		}
+	}
+	// And writes keep working.
+	if err := bt.Put([]byte("post-failover"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoverWithoutReplicationFails(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.RecoverMachine(0); err == nil {
+		t.Fatal("recovery must require replication")
+	}
+}
+
+func TestMemnodeStats(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	bt := cl.Proxy(0).MustTree(0)
+	for i := 0; i < 30; i++ {
+		if err := bt.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cl.MemnodeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("stats for %d memnodes", len(stats))
+	}
+	totalItems := 0
+	for _, s := range stats {
+		totalItems += s.Items
+	}
+	if totalItems == 0 {
+		t.Fatal("no items on any memnode")
+	}
+}
+
+func TestTwoTrees(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.CreateTree(1); err != nil {
+		t.Fatal(err)
+	}
+	a := cl.Proxy(0).MustTree(0)
+	b := cl.Proxy(0).MustTree(1)
+	if err := a.Put([]byte("k"), []byte("tree0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put([]byte("k"), []byte("tree1")); err != nil {
+		t.Fatal(err)
+	}
+	va, _, _ := a.Get([]byte("k"))
+	vb, _, _ := b.Get([]byte("k"))
+	if string(va) != "tree0" || string(vb) != "tree1" {
+		t.Fatalf("trees bleed: %q %q", va, vb)
+	}
+}
+
+func TestRecoveryCoordinatorThroughCluster(t *testing.T) {
+	cl := New(testCfg(2))
+	if err := cl.CreateTree(0); err != nil {
+		t.Fatal(err)
+	}
+	bt := cl.Proxy(0).MustTree(0)
+	if err := bt.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rc := cl.Recovery()
+	rc.MinAge = 0
+	committed, aborted, err := rc.SweepOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 0 || aborted != 0 {
+		t.Fatalf("healthy cluster had orphans: %d/%d", committed, aborted)
+	}
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"minuet/internal/catalog"
+	"minuet/internal/dyntx"
+	"minuet/internal/space"
+	"minuet/internal/wire"
+)
+
+// Writable clones / branching versions (§5). Snapshot ids form a version
+// tree recorded in the snapshot catalog; every leaf of the version tree is a
+// writable tip, and interior vertices are read-only. Creating a snapshot and
+// creating a branch are the same operation: branch the given version and
+// write to the new leaf.
+//
+// Copy-on-write bookkeeping uses per-node redirect sets bounded by β: when
+// marking a node copied would exceed the bound, a *discretionary copy* is
+// materialized at a common ancestor so that ≤ β redirect entries cover every
+// copy (the §5.2 invariant). Traversals follow the deepest redirect whose
+// snapshot is an ancestor-or-self of the target version.
+
+// ErrNotWritable is returned when writing to a snapshot that already has a
+// branch (it is read-only). Use ResolveTip to follow the mainline.
+var ErrNotWritable = errors.New("core: snapshot is read-only (has a branch)")
+
+// ErrBranchLimit is returned when a snapshot already has β branches.
+var ErrBranchLimit = errors.New("core: version-tree branching factor (β) exceeded")
+
+// injectBranch validates that sid is a writable tip by adding its catalog
+// slot to the read set (the branching analogue of validating the tip
+// snapshot id), and returns the branch's root location.
+func (bt *BTree) injectBranch(t *dyntx.Txn, sid uint64) (Ptr, error) {
+	e, err := bt.cat.Get(sid)
+	if err != nil {
+		return Ptr{}, err
+	}
+	if !e.Writable() {
+		return Ptr{}, fmt.Errorf("%w: snapshot %d branched to %d", ErrNotWritable, sid, e.BranchID)
+	}
+	t.InjectRead(bt.cat.Ref(sid), e.Version, catalog.Encode(e), true)
+	return e.Root, nil
+}
+
+// CreateBranchTxn branches a new writable version off snapshot `from`
+// (Fig 8 semantics): allocate and copy a root anchored in a fresh catalog
+// entry, mark `from` read-only if this is its first branch, and advance the
+// replicated next-snapshot-id counter. Like snapshot creation it commits
+// with a blocking minitransaction across all memnodes.
+func (bt *BTree) CreateBranchTxn(t *dyntx.Txn, from uint64) (Snapshot, error) {
+	t.Blocking = true
+
+	nextObj, err := t.Read(bt.refNextSnap())
+	if err != nil {
+		return Snapshot{}, err
+	}
+	newSid := decodeU64(nextObj.Data)
+
+	fromObj, err := t.Read(bt.cat.Ref(from))
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if !fromObj.Exists {
+		return Snapshot{}, fmt.Errorf("core: snapshot %d does not exist", from)
+	}
+	fe, err := catalog.Decode(fromObj.Data)
+	if err != nil {
+		return Snapshot{}, dyntx.ErrRetry
+	}
+	if fe.Writable() {
+		fe.BranchID = newSid // first branch freezes `from`
+	} else if int(fe.NumChildren) >= bt.cfg.Beta {
+		return Snapshot{}, fmt.Errorf("%w: snapshot %d already has %d branches", ErrBranchLimit, from, fe.NumChildren)
+	}
+	fe.NumChildren++
+
+	rootObj, err := t.Read(refNode(fe.Root))
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if !rootObj.Exists {
+		return Snapshot{}, dyntx.ErrRetry
+	}
+	oldRoot, err := decodeNode(rootObj.Data)
+	if err != nil {
+		return Snapshot{}, dyntx.ErrRetry
+	}
+	newRootPtr, err := bt.allocNode(t)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	cp := oldRoot.clone()
+	cp.Created = newSid
+	cp.Copied = NoSnap
+	cp.Redirects = nil
+	bt.writeNewNode(t, newRootPtr, cp)
+	// The old root needs no redirect: roots are anchored by the catalog,
+	// so no traversal ever reaches a root through a stale pointer that
+	// must be forwarded across versions.
+
+	ne := catalog.Entry{Sid: newSid, Root: newRootPtr, Parent: from, Depth: fe.Depth + 1}
+	t.Write(bt.cat.Ref(from), catalog.Encode(fe))
+	t.Write(bt.cat.Ref(newSid), catalog.Encode(ne))
+	t.Write(bt.refNextSnap(), encodeU64(newSid+1))
+
+	bt.cat.Invalidate(from)
+	return Snapshot{Sid: newSid, Root: newRootPtr}, nil
+}
+
+// CreateBranch runs CreateBranchTxn in the optimistic retry loop.
+func (bt *BTree) CreateBranch(from uint64) (Snapshot, error) {
+	var s Snapshot
+	err := bt.run(func(t *dyntx.Txn) error {
+		var e error
+		s, e = bt.CreateBranchTxn(t, from)
+		return e
+	})
+	return s, err
+}
+
+// ResolveTip follows the mainline from sid: while the snapshot has a branch,
+// move to its first branch (the paper's default retry rule, §5.1). The
+// result is a writable tip at the time of inspection.
+func (bt *BTree) ResolveTip(sid uint64) (uint64, error) {
+	for hops := 0; hops < 1<<20; hops++ {
+		e, err := bt.cat.Refresh(sid)
+		if err != nil {
+			return 0, err
+		}
+		if e.Writable() {
+			return sid, nil
+		}
+		sid = e.BranchID
+	}
+	return 0, fmt.Errorf("core: mainline from %d did not terminate", sid)
+}
+
+// GetAt looks up k in version sid. Writable tips are read with validation
+// (catalog slot + leaf), read-only versions with pure dirty traversals.
+func (bt *BTree) GetAt(sid uint64, k wire.Key) (val []byte, ok bool, err error) {
+	e, err := bt.cat.Get(sid)
+	if err != nil {
+		return nil, false, err
+	}
+	err = bt.run(func(t *dyntx.Txn) error {
+		root := e.Root
+		validate := e.Writable()
+		if validate {
+			var err2 error
+			if root, err2 = bt.injectBranch(t, sid); err2 != nil {
+				// Lost its writability mid-retry: fall back to snapshot read.
+				if errors.Is(err2, ErrNotWritable) {
+					validate = false
+					root = e.Root
+				} else {
+					return err2
+				}
+			}
+		}
+		path, e2 := bt.traverse(t, root, sid, k, validate)
+		if e2 != nil {
+			return e2
+		}
+		leaf := path[len(path)-1].node
+		i, found := leaf.search(k)
+		if !found {
+			val, ok = nil, false
+			return nil
+		}
+		val, ok = leaf.Vals[i], true
+		return nil
+	})
+	return val, ok, err
+}
+
+// PutAt inserts or updates k in writable version sid.
+func (bt *BTree) PutAt(sid uint64, k wire.Key, v []byte) error {
+	return bt.run(func(t *dyntx.Txn) error {
+		root, err := bt.injectBranch(t, sid)
+		if err != nil {
+			return err
+		}
+		return bt.putAt(t, sid, root, k, v)
+	})
+}
+
+// RemoveAt deletes k in writable version sid.
+func (bt *BTree) RemoveAt(sid uint64, k wire.Key) (existed bool, err error) {
+	err = bt.run(func(t *dyntx.Txn) error {
+		root, err := bt.injectBranch(t, sid)
+		if err != nil {
+			return err
+		}
+		var e error
+		existed, e = bt.removeAt(t, sid, root, k)
+		return e
+	})
+	return existed, err
+}
+
+// ScanAt returns up to limit pairs with key ≥ start from version sid.
+// Read-only versions scan without validation; writable tips validate every
+// leaf (short ranges only, like ScanTip).
+func (bt *BTree) ScanAt(sid uint64, start wire.Key, limit int) ([]KV, error) {
+	e, err := bt.cat.Get(sid)
+	if err != nil {
+		return nil, err
+	}
+	if !e.Writable() {
+		return bt.ScanSnapshot(Snapshot{Sid: sid, Root: e.Root}, start, limit)
+	}
+	var out []KV
+	err = bt.run(func(t *dyntx.Txn) error {
+		root, err := bt.injectBranch(t, sid)
+		if err != nil {
+			return err
+		}
+		out = out[:0]
+		k := start
+		for len(out) < limit {
+			path, err := bt.traverse(t, root, sid, k, true)
+			if err != nil {
+				return err
+			}
+			leaf := path[len(path)-1].node
+			i, _ := leaf.search(k)
+			for ; i < len(leaf.Keys) && len(out) < limit; i++ {
+				out = append(out, KV{Key: leaf.Keys[i], Val: leaf.Vals[i]})
+			}
+			if leaf.High.IsPosInf() {
+				break
+			}
+			k = leaf.High.Key()
+		}
+		return nil
+	})
+	return out, err
+}
+
+// ListVersions returns the catalog entries of all versions, in id order.
+// Intended for tooling and tests, not the data path.
+func (bt *BTree) ListVersions() ([]catalog.Entry, error) {
+	res, err := bt.c.Read(ctlPtr(bt.local, bt.idx, space.CtlNextSnapID))
+	if err != nil {
+		return nil, err
+	}
+	next := decodeU64(res.Data)
+	out := make([]catalog.Entry, 0, next-1)
+	for sid := uint64(initialSnapID); sid < next; sid++ {
+		e, err := bt.cat.Refresh(sid)
+		if err != nil {
+			continue // ids may be sparse after aborted creations
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// markCopiedBranching records on the old node that its sid-state lives at
+// copyPtr, maintaining the §5.2 invariant: the redirect set stays ≤ β by
+// materializing discretionary copies at common ancestors when necessary.
+func (bt *BTree) markCopiedBranching(t *dyntx.Txn, e pathEntry, sid uint64, copyPtr Ptr, inReadSet bool) error {
+	old := e.node.clone()
+	entries := append(append([]Redirect(nil), old.Redirects...), Redirect{Sid: sid, Ptr: copyPtr})
+	packed, err := bt.packRedirects(t, e.node, old.Created, entries, e.ptr)
+	if err != nil {
+		return err
+	}
+	old.Redirects = packed
+	bt.writeNodeBack(t, e, old, inReadSet)
+	return nil
+}
+
+// packRedirects reduces entries to at most β redirects on a node created at
+// snapshot x whose content is `content`, emitting discretionary copy nodes
+// into t as needed. owner is the node being packed (discretionary copies are
+// placed on its memnode).
+func (bt *BTree) packRedirects(t *dyntx.Txn, content *Node, x uint64, entries []Redirect, owner Ptr) ([]Redirect, error) {
+	for len(entries) > bt.cfg.Beta {
+		// Group entries by the direct child of x their snapshot descends
+		// through. The version tree's branching factor is ≤ β, so β+1
+		// entries guarantee some child subtree holds ≥ 2 of them.
+		groups := make(map[uint64][]Redirect)
+		order := make([]uint64, 0, len(entries))
+		for _, r := range entries {
+			c, err := bt.cat.ChildToward(x, r.Sid)
+			if err != nil {
+				return nil, dyntx.ErrRetry // catalog raced; retry the op
+			}
+			if _, seen := groups[c]; !seen {
+				order = append(order, c)
+			}
+			groups[c] = append(groups[c], r)
+		}
+		var members []Redirect
+		for _, c := range order {
+			if len(groups[c]) >= 2 && len(groups[c]) > len(members) {
+				members = groups[c]
+			}
+		}
+		if members == nil {
+			return nil, fmt.Errorf("core: redirect set %d exceeds β=%d with no shared subtree (version tree overgrown)", len(entries), bt.cfg.Beta)
+		}
+
+		// Lowest common ancestor of the group.
+		a := members[0].Sid
+		for _, m := range members[1:] {
+			var err error
+			if a, err = bt.cat.LCA(a, m.Sid); err != nil {
+				return nil, dyntx.ErrRetry
+			}
+		}
+
+		var replacement Redirect
+		if mi := redirectIndexOf(members, a); mi >= 0 {
+			// The ancestor already has a materialized copy: push the other
+			// entries down into it.
+			others := append(append([]Redirect(nil), members[:mi]...), members[mi+1:]...)
+			if err := bt.pushRedirects(t, members[mi].Ptr, others); err != nil {
+				return nil, err
+			}
+			replacement = members[mi]
+		} else {
+			// Materialize a discretionary copy at the common ancestor: the
+			// node's content was not modified between x and a, so the copy
+			// carries x's content tagged Created=a.
+			sub, err := bt.packRedirects(t, content, a, members, owner)
+			if err != nil {
+				return nil, err
+			}
+			dPtr, err := bt.allocNodeOn(t, owner.Node)
+			if err != nil {
+				return nil, err
+			}
+			d := content.clone()
+			d.Created = a
+			d.Copied = NoSnap
+			d.Redirects = sub
+			bt.writeNewNode(t, dPtr, d)
+			bt.discretion.Add(1)
+			replacement = Redirect{Sid: a, Ptr: dPtr}
+		}
+
+		next := make([]Redirect, 0, len(entries)-len(members)+1)
+		for _, r := range entries {
+			if redirectIndexOf(members, r.Sid) < 0 {
+				next = append(next, r)
+			}
+		}
+		entries = append(next, replacement)
+	}
+	return entries, nil
+}
+
+// pushRedirects adds redirect entries to an existing committed node,
+// re-packing its set if it overflows.
+func (bt *BTree) pushRedirects(t *dyntx.Txn, p Ptr, rs []Redirect) error {
+	obj, err := t.DirtyRead(refNode(p))
+	if err != nil {
+		return err
+	}
+	if !obj.Exists {
+		return dyntx.ErrRetry
+	}
+	n, err := decodeNode(obj.Data)
+	if err != nil {
+		return dyntx.ErrRetry
+	}
+	nn := n.clone()
+	entries := append(append([]Redirect(nil), nn.Redirects...), rs...)
+	packed, err := bt.packRedirects(t, n, n.Created, entries, p)
+	if err != nil {
+		return err
+	}
+	nn.Redirects = packed
+	t.WriteValidated(refNode(p), nn.encode(), obj.Version)
+	if bt.cache != nil {
+		bt.cache.invalidate(p)
+	}
+	return nil
+}
+
+func redirectIndexOf(rs []Redirect, sid uint64) int {
+	for i, r := range rs {
+		if r.Sid == sid {
+			return i
+		}
+	}
+	return -1
+}
+
+// writeBranchRoot updates the catalog slot of a writable tip after a root
+// split. The slot is already in the read set (injectBranch), so the write
+// validates against the version observed at operation start.
+func (bt *BTree) writeBranchRoot(t *dyntx.Txn, sid uint64, rootPtr Ptr) error {
+	e, err := bt.cat.Get(sid)
+	if err != nil {
+		return err
+	}
+	e.Root = rootPtr
+	t.Write(bt.cat.Ref(sid), catalog.Encode(e))
+	bt.cat.Invalidate(sid)
+	return nil
+}

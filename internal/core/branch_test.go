@@ -1,0 +1,345 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"minuet/internal/wire"
+)
+
+func branchCfg(beta int) Config {
+	return Config{
+		NodeSize:        512,
+		MaxLeafKeys:     4,
+		MaxInnerKeys:    4,
+		DirtyTraversals: true,
+		Branching:       true,
+		Beta:            beta,
+	}
+}
+
+func TestBranchBasicIsolation(t *testing.T) {
+	e := newEnv(t, 2, branchCfg(2))
+	// The initial tip is snapshot 1.
+	for i := 0; i < 30; i++ {
+		if err := e.bt.PutAt(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Branch: 1 becomes read-only, 2 is the new tip.
+	b, err := e.bt.CreateBranch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Sid != 2 {
+		t.Fatalf("first branch sid = %d", b.Sid)
+	}
+	// Writing to 1 now fails.
+	if err := e.bt.PutAt(1, key(0), []byte("nope")); !errors.Is(err, ErrNotWritable) {
+		t.Fatalf("write to frozen snapshot: %v", err)
+	}
+	// Mutate branch 2; snapshot 1 must not change.
+	for i := 0; i < 30; i++ {
+		if err := e.bt.PutAt(2, key(i), []byte("branch2")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		v, ok, err := e.bt.GetAt(1, key(i))
+		if err != nil || !ok || string(v) != string(val(i)) {
+			t.Fatalf("snapshot 1 key %d: %q %v %v", i, v, ok, err)
+		}
+		v, ok, err = e.bt.GetAt(2, key(i))
+		if err != nil || !ok || string(v) != "branch2" {
+			t.Fatalf("branch 2 key %d: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestBranchSiblings(t *testing.T) {
+	e := newEnv(t, 2, branchCfg(2))
+	for i := 0; i < 20; i++ {
+		if err := e.bt.PutAt(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b2, err := e.bt.CreateBranch(1) // freezes 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	b3, err := e.bt.CreateBranch(1) // sibling branch off 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	// β=2: a third branch off 1 must be rejected.
+	if _, err := e.bt.CreateBranch(1); !errors.Is(err, ErrBranchLimit) {
+		t.Fatalf("third branch off 1: %v", err)
+	}
+	// Divergent writes.
+	if err := e.bt.PutAt(b2.Sid, key(5), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bt.PutAt(b3.Sid, key(5), []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sid  uint64
+		want string
+	}{{1, string(val(5))}, {b2.Sid, "two"}, {b3.Sid, "three"}}
+	for _, c := range cases {
+		v, ok, err := e.bt.GetAt(c.sid, key(5))
+		if err != nil || !ok || string(v) != c.want {
+			t.Fatalf("sid %d: %q %v %v want %q", c.sid, v, ok, err, c.want)
+		}
+	}
+}
+
+func TestResolveTipFollowsMainline(t *testing.T) {
+	e := newEnv(t, 1, branchCfg(2))
+	// Chain: 1 -> 2 -> 3 (mainline = first branch each time).
+	if _, err := e.bt.CreateBranch(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.bt.CreateBranch(2); err != nil {
+		t.Fatal(err)
+	}
+	tip, err := e.bt.ResolveTip(1)
+	if err != nil || tip != 3 {
+		t.Fatalf("mainline from 1 = %d (%v), want 3", tip, err)
+	}
+}
+
+// TestBranchDeepVersionTree builds a multi-level version tree with β=2 and
+// verifies every version's full contents against per-version models. The
+// repeated whole-range rewrites at many tips force redirect-set overflows
+// and discretionary copies.
+func TestBranchDeepVersionTree(t *testing.T) {
+	e := newEnv(t, 3, branchCfg(2))
+	const keys = 25
+	models := map[uint64]map[int]string{}
+
+	write := func(sid uint64, k int, v string) {
+		t.Helper()
+		if err := e.bt.PutAt(sid, key(k), []byte(v)); err != nil {
+			t.Fatalf("put sid=%d k=%d: %v", sid, k, err)
+		}
+		models[sid][k] = v
+	}
+	branch := func(from uint64) uint64 {
+		t.Helper()
+		b, err := e.bt.CreateBranch(from)
+		if err != nil {
+			t.Fatalf("branch from %d: %v", from, err)
+		}
+		m := map[int]string{}
+		for k, v := range models[from] {
+			m[k] = v
+		}
+		models[b.Sid] = m
+		return b.Sid
+	}
+
+	models[1] = map[int]string{}
+	for k := 0; k < keys; k++ {
+		write(1, k, fmt.Sprintf("base%d", k))
+	}
+
+	// Build the version tree of Fig 8's flavor:
+	//        1
+	//       / \
+	//      2   3(side)
+	//     / \
+	//    4   5
+	//   ...
+	rng := rand.New(rand.NewSource(7))
+	writable := []uint64{1}
+	for round := 0; round < 10; round++ {
+		// Pick a writable tip, mutate it, then branch it (freezing it) and
+		// sometimes open a sibling.
+		from := writable[rng.Intn(len(writable))]
+		for k := 0; k < keys; k++ {
+			if rng.Intn(2) == 0 {
+				write(from, k, fmt.Sprintf("r%d-%d", round, k))
+			}
+		}
+		child1 := branch(from)
+		newWritable := []uint64{child1}
+		if rng.Intn(2) == 0 {
+			newWritable = append(newWritable, branch(from))
+		}
+		for _, w := range writable {
+			if w != from {
+				newWritable = append(newWritable, w)
+			}
+		}
+		writable = newWritable
+		// Mutate the fresh branches a bit.
+		for _, b := range newWritable[:1] {
+			for k := 0; k < keys; k += 3 {
+				write(b, k, fmt.Sprintf("b%d-%d", b, k))
+			}
+		}
+	}
+
+	// Verify every version against its model, both point reads and scans.
+	for sid, m := range models {
+		for k := 0; k < keys; k++ {
+			v, ok, err := e.bt.GetAt(sid, key(k))
+			if err != nil {
+				t.Fatalf("get sid=%d k=%d: %v", sid, k, err)
+			}
+			want, wantOK := m[k]
+			if ok != wantOK || (ok && string(v) != want) {
+				t.Fatalf("sid=%d k=%d: got %q/%v want %q/%v", sid, k, v, ok, want, wantOK)
+			}
+		}
+		kvs, err := e.bt.ScanAt(sid, nil, keys+5)
+		if err != nil {
+			t.Fatalf("scan sid=%d: %v", sid, err)
+		}
+		if len(kvs) != len(m) {
+			t.Fatalf("sid=%d scan %d keys, model %d", sid, len(kvs), len(m))
+		}
+	}
+	if e.bt.Stats().Discretion == 0 {
+		t.Log("no discretionary copies triggered (random tree shape); acceptable")
+	}
+}
+
+// TestBranchDiscretionaryCopies drives a deterministic shape that must
+// overflow a β=2 redirect set: one node copied in three separated branches.
+func TestBranchDiscretionaryCopies(t *testing.T) {
+	e := newEnv(t, 1, branchCfg(2))
+	const keys = 3 // stay within one leaf: its redirect set is the target
+	for k := 0; k < keys; k++ {
+		if err := e.bt.PutAt(1, key(k), []byte("base")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Version tree:      1
+	//                   / \
+	//                  2   3
+	//                 / \   \
+	//                4  5    (3 stays writable)
+	b2, _ := e.bt.CreateBranch(1)
+	b3, _ := e.bt.CreateBranch(1)
+	b4, _ := e.bt.CreateBranch(b2.Sid)
+	b5, _ := e.bt.CreateBranch(b2.Sid)
+
+	// Write the same leaf at three writable tips whose pairwise LCAs are 2
+	// and 1: {4,5} share child-subtree 2, so the third copy must trigger a
+	// discretionary copy at 2.
+	for i, sid := range []uint64{b4.Sid, b5.Sid, b3.Sid} {
+		if err := e.bt.PutAt(sid, key(1), []byte(fmt.Sprintf("tip%d", i))); err != nil {
+			t.Fatalf("write at %d: %v", sid, err)
+		}
+	}
+	if e.bt.Stats().Discretion == 0 {
+		t.Fatal("three copies under β=2 must trigger a discretionary copy")
+	}
+	// All versions still read correctly.
+	expect := map[uint64]string{
+		1:      "base",
+		b2.Sid: "base",
+		b4.Sid: "tip0",
+		b5.Sid: "tip1",
+		b3.Sid: "tip2",
+	}
+	for sid, want := range expect {
+		v, ok, err := e.bt.GetAt(sid, key(1))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("sid %d: %q %v %v want %q", sid, v, ok, err, want)
+		}
+	}
+}
+
+func TestBranchConcurrentWriters(t *testing.T) {
+	e := newEnv(t, 2, branchCfg(2))
+	for i := 0; i < 10; i++ {
+		if err := e.bt.PutAt(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b2, _ := e.bt.CreateBranch(1)
+	b3, _ := e.bt.CreateBranch(1)
+
+	done := make(chan error, 2)
+	for gi, sid := range []uint64{b2.Sid, b3.Sid} {
+		go func(gi int, sid uint64) {
+			bt := e.openProxy(t, e.nodes[gi%len(e.nodes)])
+			for i := 0; i < 100; i++ {
+				if err := bt.PutAt(sid, key(i%10), []byte(fmt.Sprintf("s%d-%d", sid, i))); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(gi, sid)
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		v, ok, err := e.bt.GetAt(b2.Sid, key(i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("s%d-%d", b2.Sid, 90+i) {
+			t.Fatalf("b2 key %d: %q %v %v", i, v, ok, err)
+		}
+		v, ok, err = e.bt.GetAt(1, key(i))
+		if err != nil || !ok || string(v) != string(val(i)) {
+			t.Fatalf("frozen 1 key %d: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+func TestBranchWriteRacesWithFreeze(t *testing.T) {
+	// A writer targeting a tip that gets frozen concurrently must observe
+	// ErrNotWritable (not silently write into a read-only snapshot).
+	e := newEnv(t, 2, branchCfg(2))
+	if err := e.bt.PutAt(1, key(0), []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	writer := e.openProxy(t, e.nodes[1])
+	// Warm the writer's catalog cache so it believes 1 is writable.
+	if _, _, err := writer.GetAt(1, key(0)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.bt.CreateBranch(1); err != nil {
+		t.Fatal(err)
+	}
+	err := writer.PutAt(1, key(0), []byte("y"))
+	if !errors.Is(err, ErrNotWritable) {
+		t.Fatalf("racing write: %v", err)
+	}
+	// Snapshot 1 retains the old value on its mainline descendant.
+	tip, err := writer.ResolveTip(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := writer.GetAt(tip, key(0))
+	if err != nil || !ok || string(v) != "x" {
+		t.Fatalf("mainline tip: %q %v %v", v, ok, err)
+	}
+}
+
+func TestVersionListing(t *testing.T) {
+	e := newEnv(t, 1, branchCfg(3))
+	b2, _ := e.bt.CreateBranch(1)
+	b3, _ := e.bt.CreateBranch(b2.Sid)
+	_ = b3
+	entries, err := e.bt.ListVersions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("want 3 versions, got %d", len(entries))
+	}
+	if entries[0].Sid != 1 || entries[0].BranchID != 2 || entries[1].Parent != 1 || entries[2].Depth != 2 {
+		t.Fatalf("version tree shape wrong: %+v", entries)
+	}
+}
+
+var _ = wire.Key(nil) // keep wire imported for helpers

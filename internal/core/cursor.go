@@ -1,0 +1,120 @@
+package core
+
+import (
+	"minuet/internal/dyntx"
+	"minuet/internal/wire"
+)
+
+// Cursor streams a snapshot's key-value pairs in key order without
+// materializing the whole range: it fetches one leaf at a time (one round
+// trip with a warm proxy cache) and steps to the next leaf using the high
+// fence. Because the underlying snapshot is immutable, a cursor can be
+// paused, resumed, or abandoned at any point with no transactional state.
+//
+// Cursors are the streaming complement to ScanSnapshot: analytics that
+// aggregate more data than fits in memory iterate instead of collecting.
+type Cursor struct {
+	bt   *BTree
+	snap Snapshot
+
+	leaf *Node
+	pos  int
+	err  error
+	done bool
+}
+
+// NewCursor opens a cursor over a read-only snapshot, positioned at the
+// first key ≥ start (nil = the smallest key).
+func (bt *BTree) NewCursor(s Snapshot, start wire.Key) *Cursor {
+	c := &Cursor{bt: bt, snap: s}
+	c.seek(start)
+	return c
+}
+
+// seek loads the leaf responsible for k and positions at the first key ≥ k.
+func (c *Cursor) seek(k wire.Key) {
+	c.leaf = nil
+	c.pos = 0
+	err := c.bt.run(func(t *dyntx.Txn) error {
+		path, e := c.bt.traverse(t, c.snap.Root, c.snap.Sid, k, false)
+		if e != nil {
+			return e
+		}
+		c.leaf = path[len(path)-1].node
+		return nil
+	})
+	if err != nil {
+		c.err = err
+		c.done = true
+		return
+	}
+	c.pos, _ = c.leaf.search(k)
+	c.skipEmptyLeaves()
+}
+
+// skipEmptyLeaves advances across exhausted leaves (deletions can leave
+// empty ones) until a key is available or the key space ends.
+func (c *Cursor) skipEmptyLeaves() {
+	for c.leaf != nil && c.pos >= len(c.leaf.Keys) {
+		if c.leaf.High.IsPosInf() {
+			c.done = true
+			return
+		}
+		next := c.leaf.High.Key()
+		c.leaf = nil
+		err := c.bt.run(func(t *dyntx.Txn) error {
+			path, e := c.bt.traverse(t, c.snap.Root, c.snap.Sid, next, false)
+			if e != nil {
+				return e
+			}
+			c.leaf = path[len(path)-1].node
+			return nil
+		})
+		if err != nil {
+			c.err = err
+			c.done = true
+			return
+		}
+		c.pos, _ = c.leaf.search(next)
+	}
+}
+
+// Next advances to the next pair, reporting false at the end of the key
+// space or on error (check Err).
+func (c *Cursor) Next() bool {
+	if c.done || c.err != nil {
+		return false
+	}
+	if c.leaf == nil || c.pos >= len(c.leaf.Keys) {
+		c.skipEmptyLeaves()
+	}
+	if c.done || c.err != nil || c.leaf == nil {
+		return false
+	}
+	return true
+}
+
+// Key returns the current key. Valid after Next returns true, until the
+// next call to Next.
+func (c *Cursor) Key() wire.Key { return c.leaf.Keys[c.pos] }
+
+// Value returns the current value.
+func (c *Cursor) Value() []byte { return c.leaf.Vals[c.pos] }
+
+// Advance moves past the current pair (call after consuming Key/Value).
+func (c *Cursor) Advance() { c.pos++ }
+
+// Err returns the first error the cursor hit, if any.
+func (c *Cursor) Err() error { return c.err }
+
+// Each iterates fn over the remaining pairs; fn returning false stops
+// early. Returns the cursor's error state.
+func (c *Cursor) Each(fn func(key wire.Key, val []byte) bool) error {
+	for c.Next() {
+		if !fn(c.Key(), c.Value()) {
+			return c.err
+		}
+		c.Advance()
+	}
+	return c.err
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"minuet/internal/wire"
+)
+
+func TestCursorFullIteration(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	const n = 300
+	for i := 0; i < n; i++ {
+		mustPut(t, e.bt, i)
+	}
+	snap, err := e.bt.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.bt.NewCursor(snap, nil)
+	count := 0
+	for c.Next() {
+		if string(c.Key()) != string(key(count)) || string(c.Value()) != string(val(count)) {
+			t.Fatalf("at %d: %q=%q", count, c.Key(), c.Value())
+		}
+		count++
+		c.Advance()
+	}
+	if c.Err() != nil || count != n {
+		t.Fatalf("iterated %d of %d: %v", count, n, c.Err())
+	}
+	// Exhausted cursor stays exhausted.
+	if c.Next() {
+		t.Fatal("cursor resurrected")
+	}
+}
+
+func TestCursorSeekMidRange(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 100; i++ {
+		mustPut(t, e.bt, i)
+	}
+	snap, _ := e.bt.CreateSnapshot()
+	c := e.bt.NewCursor(snap, key(73))
+	if !c.Next() || string(c.Key()) != string(key(73)) {
+		t.Fatalf("seek landed on %q", c.Key())
+	}
+	// Seek between keys lands on the next one.
+	between := append(wire.CloneKey(key(73)), 'x')
+	c = e.bt.NewCursor(snap, between)
+	if !c.Next() || string(c.Key()) != string(key(74)) {
+		t.Fatalf("between-seek landed on %q", c.Key())
+	}
+	// Seek past the end.
+	c = e.bt.NewCursor(snap, key(9999))
+	if c.Next() {
+		t.Fatalf("past-end seek yielded %q", c.Key())
+	}
+}
+
+func TestCursorSkipsEmptyLeaves(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	const n = 120
+	for i := 0; i < n; i++ {
+		mustPut(t, e.bt, i)
+	}
+	// Hollow out a band in the middle: several leaves become empty.
+	for i := 30; i < 90; i++ {
+		if _, err := e.bt.Remove(key(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, _ := e.bt.CreateSnapshot()
+	c := e.bt.NewCursor(snap, key(10))
+	var got []string
+	_ = c.Each(func(k wire.Key, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	})
+	want := 0
+	for i := 10; i < 30; i++ {
+		want++
+	}
+	for i := 90; i < n; i++ {
+		want++
+	}
+	if len(got) != want {
+		t.Fatalf("cursor saw %d keys, want %d", len(got), want)
+	}
+	if got[19] != string(key(29)) || got[20] != string(key(90)) {
+		t.Fatalf("gap handling wrong: ...%s, %s...", got[19], got[20])
+	}
+}
+
+func TestCursorStableUnderTipWrites(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	const n = 200
+	for i := 0; i < n; i++ {
+		mustPut(t, e.bt, i)
+	}
+	snap, _ := e.bt.CreateSnapshot()
+	c := e.bt.NewCursor(snap, nil)
+	count := 0
+	for c.Next() {
+		// Mutate the tip mid-iteration; the snapshot cursor must not care.
+		if count%20 == 0 {
+			if err := e.bt.Put(key(count), []byte("mutated")); err != nil {
+				t.Fatal(err)
+			}
+			mustPut(t, e.bt, n+count)
+		}
+		if string(c.Value()) != string(val(count)) {
+			t.Fatalf("cursor saw tip mutation at %d: %q", count, c.Value())
+		}
+		count++
+		c.Advance()
+	}
+	if c.Err() != nil || count != n {
+		t.Fatalf("iterated %d: %v", count, c.Err())
+	}
+}
+
+func TestCursorEachEarlyStop(t *testing.T) {
+	e := newEnv(t, 1, smallCfg())
+	for i := 0; i < 50; i++ {
+		mustPut(t, e.bt, i)
+	}
+	snap, _ := e.bt.CreateSnapshot()
+	seen := 0
+	err := e.bt.NewCursor(snap, nil).Each(func(k wire.Key, v []byte) bool {
+		seen++
+		return seen < 7
+	})
+	if err != nil || seen != 7 {
+		t.Fatalf("early stop: %d %v", seen, err)
+	}
+}
+
+func TestCursorAggregation(t *testing.T) {
+	// The streaming use case: sum values without materializing the range.
+	e := newEnv(t, 2, smallCfg())
+	total := 0
+	for i := 0; i < 150; i++ {
+		if err := e.bt.Put(key(i), []byte(fmt.Sprintf("%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+		total += i
+	}
+	snap, _ := e.bt.CreateSnapshot()
+	sum := 0
+	err := e.bt.NewCursor(snap, nil).Each(func(k wire.Key, v []byte) bool {
+		var x int
+		fmt.Sscanf(string(v), "%d", &x) //nolint:errcheck
+		sum += x
+		return true
+	})
+	if err != nil || sum != total {
+		t.Fatalf("sum %d want %d (%v)", sum, total, err)
+	}
+}

@@ -1,0 +1,335 @@
+package core
+
+import (
+	"minuet/internal/dyntx"
+	"minuet/internal/wire"
+)
+
+// Cross-version queries (§5.1: "maintaining several versions in the same
+// system also allows us to issue transactional queries across different
+// versions of the data, which may be useful for integrity checks and to
+// compare the results of an analysis").
+//
+// Diff computes the key-level differences between two read-only versions.
+// Because versions share copy-on-write structure, the walk prunes any
+// subtree whose root pointer is identical in both versions: the cost is
+// proportional to the amount of divergence, not to the tree size.
+
+// DiffKind classifies one difference.
+type DiffKind uint8
+
+// Difference kinds.
+const (
+	// DiffAdded: the key exists only in version B.
+	DiffAdded DiffKind = iota
+	// DiffRemoved: the key exists only in version A.
+	DiffRemoved
+	// DiffChanged: the key exists in both with different values.
+	DiffChanged
+)
+
+func (k DiffKind) String() string {
+	switch k {
+	case DiffAdded:
+		return "added"
+	case DiffRemoved:
+		return "removed"
+	case DiffChanged:
+		return "changed"
+	}
+	return "?"
+}
+
+// DiffEntry is one key-level difference between two versions.
+type DiffEntry struct {
+	Kind DiffKind
+	Key  wire.Key
+	// ValA is the value in version A (DiffRemoved, DiffChanged).
+	ValA []byte
+	// ValB is the value in version B (DiffAdded, DiffChanged).
+	ValB []byte
+}
+
+// DiffSnapshots returns the key-level differences between two read-only
+// snapshots (linear mode), in key order, up to limit entries (0 = no
+// limit). Subtrees physically shared between the versions are skipped
+// without being read.
+func (bt *BTree) DiffSnapshots(a, b Snapshot, limit int) ([]DiffEntry, error) {
+	return bt.diffRoots(a.Root, a.Sid, b.Root, b.Sid, limit)
+}
+
+// DiffVersions is DiffSnapshots for branching mode: it diffs any two
+// versions in the version tree by their catalog entries. Writable tips are
+// allowed but the result is only stable if they are quiescent.
+func (bt *BTree) DiffVersions(a, b uint64, limit int) ([]DiffEntry, error) {
+	ea, err := bt.cat.Get(a)
+	if err != nil {
+		return nil, err
+	}
+	eb, err := bt.cat.Get(b)
+	if err != nil {
+		return nil, err
+	}
+	return bt.diffRoots(ea.Root, a, eb.Root, b, limit)
+}
+
+// diffWalker accumulates differences during a parallel tree walk.
+type diffWalker struct {
+	bt    *BTree
+	t     *dyntx.Txn
+	sidA  uint64
+	sidB  uint64
+	rootA Ptr
+	rootB Ptr
+	limit int
+	out   []DiffEntry
+}
+
+func (bt *BTree) diffRoots(rootA Ptr, sidA uint64, rootB Ptr, sidB uint64, limit int) ([]DiffEntry, error) {
+	var out []DiffEntry
+	err := bt.run(func(t *dyntx.Txn) error {
+		w := &diffWalker{bt: bt, t: t, sidA: sidA, sidB: sidB, rootA: rootA, rootB: rootB, limit: limit}
+		if err := w.walk(rootA, rootB); err != nil {
+			return err
+		}
+		out = w.out
+		return nil
+	})
+	return out, err
+}
+
+func (w *diffWalker) full() bool { return w.limit > 0 && len(w.out) >= w.limit }
+
+// load fetches and version-resolves a node for the given snapshot.
+func (w *diffWalker) load(p Ptr, sid uint64) (*Node, error) {
+	var (
+		n   *Node
+		ver uint64
+		err error
+	)
+	n, ver, err = w.bt.loadInner(w.t, p) // interior loader also decodes leaves
+	if err != nil {
+		return nil, err
+	}
+	_, n, _, err = w.bt.followRedirects(w.t, p, n, ver, sid, false)
+	if err != nil {
+		return nil, err
+	}
+	// Linear-mode version check: the stored node must belong to sid's past.
+	if !w.bt.cfg.Branching {
+		if n.Created > sid || (n.Copied != NoSnap && n.Copied <= sid) {
+			return nil, dyntx.ErrRetry
+		}
+	}
+	return n, nil
+}
+
+// diffLeaves merges two leaves into per-key differences.
+func (w *diffWalker) diffLeaves(a, b *Node) {
+	i, j := 0, 0
+	for (i < len(a.Keys) || j < len(b.Keys)) && !w.full() {
+		switch {
+		case j >= len(b.Keys):
+			w.out = append(w.out, DiffEntry{Kind: DiffRemoved, Key: a.Keys[i], ValA: a.Vals[i]})
+			i++
+		case i >= len(a.Keys):
+			w.out = append(w.out, DiffEntry{Kind: DiffAdded, Key: b.Keys[j], ValB: b.Vals[j]})
+			j++
+		default:
+			switch wire.CompareKeys(a.Keys[i], b.Keys[j]) {
+			case -1:
+				w.out = append(w.out, DiffEntry{Kind: DiffRemoved, Key: a.Keys[i], ValA: a.Vals[i]})
+				i++
+			case 1:
+				w.out = append(w.out, DiffEntry{Kind: DiffAdded, Key: b.Keys[j], ValB: b.Vals[j]})
+				j++
+			default:
+				if !bytesEqual(a.Vals[i], b.Vals[j]) {
+					w.out = append(w.out, DiffEntry{Kind: DiffChanged, Key: a.Keys[i], ValA: a.Vals[i], ValB: b.Vals[j]})
+				}
+				i++
+				j++
+			}
+		}
+	}
+}
+
+// walk diffs the subtrees rooted at pa (version A) and pb (version B).
+// Identical pointers mean physically shared state: prune immediately.
+func (w *diffWalker) walk(pa, pb Ptr) error {
+	if pa == pb || w.full() {
+		return nil
+	}
+	a, err := w.load(pa, w.sidA)
+	if err != nil {
+		return err
+	}
+	b, err := w.load(pb, w.sidB)
+	if err != nil {
+		return err
+	}
+
+	switch {
+	case a.IsLeaf() && b.IsLeaf():
+		w.diffLeaves(a, b)
+		return nil
+	case a.IsLeaf() != b.IsLeaf():
+		// Height mismatch (one side split into another level): walk the
+		// taller side down toward the shorter one's key range.
+		if a.IsLeaf() {
+			return w.walkUneven(a, true, b)
+		}
+		return w.walkUneven(b, false, a)
+	}
+
+	// Both interior (same fences, guaranteed by the caller): sweep a
+	// position cursor across the common key range. Children whose fences
+	// align pair up and recurse (pruning shared pointers); misaligned runs
+	// (splits on one side) are diffed by scanning both versions up to the
+	// next boundary present on both sides.
+	pos := a.Low
+	ai, bi := 0, 0
+	for (ai < len(a.Kids) || bi < len(b.Kids)) && !w.full() {
+		if ai < len(a.Kids) && bi < len(b.Kids) {
+			aLow, aHigh := a.childFences(ai)
+			bLow, bHigh := b.childFences(bi)
+			if aLow.Compare(pos) == 0 && bLow.Compare(pos) == 0 && aHigh.Compare(bHigh) == 0 {
+				if err := w.walk(a.Kids[ai], b.Kids[bi]); err != nil {
+					return err
+				}
+				pos = aHigh
+				ai++
+				bi++
+				continue
+			}
+		}
+		g := nextCommonBoundary(a, b, pos)
+		if err := w.diffRange(pos, g); err != nil {
+			return err
+		}
+		for ai < len(a.Kids) {
+			if _, h := a.childFences(ai); h.Compare(g) <= 0 {
+				ai++
+			} else {
+				break
+			}
+		}
+		for bi < len(b.Kids) {
+			if _, h := b.childFences(bi); h.Compare(g) <= 0 {
+				bi++
+			} else {
+				break
+			}
+		}
+		pos = g
+	}
+	return nil
+}
+
+// nextCommonBoundary returns the smallest fence above pos that bounds a
+// child range in BOTH interior nodes. The nodes share their high fence, so
+// a common boundary always exists.
+func nextCommonBoundary(a, b *Node, pos wire.Fence) wire.Fence {
+	i, j := 0, 0
+	for i < len(a.Keys) && j < len(b.Keys) {
+		fa, fb := wire.FenceAt(a.Keys[i]), wire.FenceAt(b.Keys[j])
+		if fa.Compare(pos) <= 0 {
+			i++
+			continue
+		}
+		if fb.Compare(pos) <= 0 {
+			j++
+			continue
+		}
+		switch fa.Compare(fb) {
+		case 0:
+			return fa
+		case -1:
+			i++
+		default:
+			j++
+		}
+	}
+	return a.High
+}
+
+// walkUneven handles a leaf on one side vs an interior node on the other by
+// brute-force diffing the leaf's key range.
+func (w *diffWalker) walkUneven(leaf *Node, leafIsA bool, other *Node) error {
+	return w.diffRange(leaf.Low, leaf.High)
+}
+
+// diffRange diffs versions A and B over the key range [lo, hi) by scanning
+// both sides. Used only where structural pairing broke down.
+func (w *diffWalker) diffRange(lo, hi wire.Fence) error {
+	var start wire.Key
+	if !lo.IsNegInf() {
+		start = lo.Key()
+	}
+	aKVs, err := w.scanRange(w.sidA, start, hi)
+	if err != nil {
+		return err
+	}
+	bKVs, err := w.scanRange(w.sidB, start, hi)
+	if err != nil {
+		return err
+	}
+	la := &Node{Height: 0}
+	lb := &Node{Height: 0}
+	for _, kv := range aKVs {
+		la.Keys = append(la.Keys, kv.Key)
+		la.Vals = append(la.Vals, kv.Val)
+	}
+	for _, kv := range bKVs {
+		lb.Keys = append(lb.Keys, kv.Key)
+		lb.Vals = append(lb.Vals, kv.Val)
+	}
+	w.diffLeaves(la, lb)
+	return nil
+}
+
+// scanRange reads [start, hi) of one version inside the walker's context.
+func (w *diffWalker) scanRange(sid uint64, start wire.Key, hi wire.Fence) ([]KV, error) {
+	root := w.rootA
+	if sid == w.sidB {
+		root = w.rootB
+	}
+	return w.scanFrom(root, sid, start, hi)
+}
+
+func (w *diffWalker) scanFrom(root Ptr, sid uint64, start wire.Key, hi wire.Fence) ([]KV, error) {
+	var out []KV
+	k := start
+	for {
+		path, err := w.bt.traverse(w.t, root, sid, k, false)
+		if err != nil {
+			return nil, err
+		}
+		leaf := path[len(path)-1].node
+		i, _ := leaf.search(k)
+		for ; i < len(leaf.Keys); i++ {
+			// Stop at the first key ≥ hi (CompareKey orders key vs fence:
+			// ≥0 ⇔ key ≥ fence).
+			if !hi.IsPosInf() && hi.CompareKey(leaf.Keys[i]) >= 0 {
+				return out, nil
+			}
+			out = append(out, KV{Key: leaf.Keys[i], Val: leaf.Vals[i]})
+		}
+		if leaf.High.IsPosInf() || (!hi.IsPosInf() && leaf.High.Compare(hi) >= 0) {
+			return out, nil
+		}
+		k = leaf.High.Key()
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestDiffIdenticalSnapshots(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 100; i++ {
+		mustPut(t, e.bt, i)
+	}
+	s1, err := e.bt.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := e.bt.CreateSnapshot() // no writes in between
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff, err := e.bt.DiffSnapshots(s1, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 0 {
+		t.Fatalf("identical snapshots differ: %v", diff)
+	}
+}
+
+func TestDiffSingleChange(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 200; i++ {
+		mustPut(t, e.bt, i)
+	}
+	s1, _ := e.bt.CreateSnapshot()
+	if err := e.bt.Put(key(42), []byte("changed!")); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := e.bt.CreateSnapshot()
+	diff, err := e.bt.DiffSnapshots(s1, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 1 {
+		t.Fatalf("want 1 difference, got %d: %v", len(diff), diff)
+	}
+	d := diff[0]
+	if d.Kind != DiffChanged || string(d.Key) != string(key(42)) ||
+		string(d.ValA) != string(val(42)) || string(d.ValB) != "changed!" {
+		t.Fatalf("wrong diff: %+v", d)
+	}
+}
+
+func TestDiffAddRemoveChange(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 100; i++ {
+		mustPut(t, e.bt, i)
+	}
+	s1, _ := e.bt.CreateSnapshot()
+	if _, err := e.bt.Remove(key(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bt.Put(key(500), []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bt.Put(key(20), []byte("mod")); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := e.bt.CreateSnapshot()
+	diff, err := e.bt.DiffSnapshots(s1, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[string]DiffKind{}
+	for _, d := range diff {
+		kinds[string(d.Key)] = d.Kind
+	}
+	if len(diff) != 3 {
+		t.Fatalf("want 3 differences, got %d: %v", len(diff), diff)
+	}
+	if kinds[string(key(10))] != DiffRemoved || kinds[string(key(500))] != DiffAdded || kinds[string(key(20))] != DiffChanged {
+		t.Fatalf("wrong kinds: %v", kinds)
+	}
+	// Diff is ordered by key.
+	for i := 1; i < len(diff); i++ {
+		if string(diff[i-1].Key) >= string(diff[i].Key) {
+			t.Fatal("diff out of key order")
+		}
+	}
+}
+
+// TestDiffMatchesModel: random mutations between snapshots; the diff must
+// equal the model's diff exactly, including under splits (misaligned
+// separators).
+func TestDiffMatchesModel(t *testing.T) {
+	e := newEnv(t, 3, smallCfg())
+	rng := rand.New(rand.NewSource(21))
+	state := map[string]string{}
+	put := func(k int, v string) {
+		if err := e.bt.Put(key(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		state[string(key(k))] = v
+	}
+	del := func(k int) {
+		if _, err := e.bt.Remove(key(k)); err != nil {
+			t.Fatal(err)
+		}
+		delete(state, string(key(k)))
+	}
+	for i := 0; i < 150; i++ {
+		put(rng.Intn(300), fmt.Sprintf("a%d", i))
+	}
+	s1, _ := e.bt.CreateSnapshot()
+	before := map[string]string{}
+	for k, v := range state {
+		before[k] = v
+	}
+	// Heavy mutation: new keys force splits, deletions empty leaves.
+	for i := 0; i < 200; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			put(300+rng.Intn(300), fmt.Sprintf("b%d", i)) // adds
+		case 1:
+			put(rng.Intn(300), fmt.Sprintf("c%d", i)) // changes
+		default:
+			del(rng.Intn(300)) // removes
+		}
+	}
+	s2, _ := e.bt.CreateSnapshot()
+
+	want := map[string][2]string{} // key -> {old, new}; "" = absent
+	for k, v := range before {
+		if nv, ok := state[k]; !ok {
+			want[k] = [2]string{v, ""}
+		} else if nv != v {
+			want[k] = [2]string{v, nv}
+		}
+	}
+	for k, v := range state {
+		if _, ok := before[k]; !ok {
+			want[k] = [2]string{"", v}
+		}
+	}
+
+	diff, err := e.bt.DiffSnapshots(s1, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != len(want) {
+		t.Fatalf("diff has %d entries, model %d", len(diff), len(want))
+	}
+	for _, d := range diff {
+		w, ok := want[string(d.Key)]
+		if !ok {
+			t.Fatalf("unexpected diff key %s", d.Key)
+		}
+		switch d.Kind {
+		case DiffRemoved:
+			if w[1] != "" || string(d.ValA) != w[0] {
+				t.Fatalf("removed %s: %+v want %v", d.Key, d, w)
+			}
+		case DiffAdded:
+			if w[0] != "" || string(d.ValB) != w[1] {
+				t.Fatalf("added %s: %+v want %v", d.Key, d, w)
+			}
+		case DiffChanged:
+			if string(d.ValA) != w[0] || string(d.ValB) != w[1] {
+				t.Fatalf("changed %s: %+v want %v", d.Key, d, w)
+			}
+		}
+	}
+}
+
+func TestDiffLimit(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 100; i++ {
+		mustPut(t, e.bt, i)
+	}
+	s1, _ := e.bt.CreateSnapshot()
+	for i := 0; i < 100; i++ {
+		if err := e.bt.Put(key(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, _ := e.bt.CreateSnapshot()
+	diff, err := e.bt.DiffSnapshots(s1, s2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 7 {
+		t.Fatalf("limit ignored: %d", len(diff))
+	}
+}
+
+// TestDiffPrunesSharedSubtrees: diffing two nearly identical snapshots must
+// read far fewer nodes than a full scan — the walk prunes shared pointers.
+func TestDiffPrunesSharedSubtrees(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	const n = 2000
+	for i := 0; i < n; i++ {
+		mustPut(t, e.bt, i)
+	}
+	s1, _ := e.bt.CreateSnapshot()
+	if err := e.bt.Put(key(1234), []byte("only change")); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := e.bt.CreateSnapshot()
+
+	e.tr.ResetStats()
+	diff, err := e.bt.DiffSnapshots(s1, s2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := e.tr.Stats().Calls
+	if len(diff) != 1 {
+		t.Fatalf("want 1 diff, got %d", len(diff))
+	}
+	// 2000 keys / fanout 4 ≈ 500 leaves; a full scan of both sides would
+	// cost ≥1000 reads. The pruned diff touches only the divergent path.
+	if calls > 100 {
+		t.Fatalf("diff read %d nodes; pruning is not working", calls)
+	}
+}
+
+func TestDiffVersionsBranching(t *testing.T) {
+	e := newEnv(t, 2, branchCfg(2))
+	for i := 0; i < 60; i++ {
+		if err := e.bt.PutAt(1, key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b2, _ := e.bt.CreateBranch(1)
+	b3, _ := e.bt.CreateBranch(1)
+	if err := e.bt.PutAt(b2.Sid, key(5), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.bt.PutAt(b3.Sid, key(7), []byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	diff, err := e.bt.DiffVersions(b2.Sid, b3.Sid, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff) != 2 {
+		t.Fatalf("sibling diff: %d entries: %v", len(diff), diff)
+	}
+	got := map[string]DiffKind{}
+	for _, d := range diff {
+		got[string(d.Key)] = d.Kind
+	}
+	if got[string(key(5))] != DiffChanged || got[string(key(7))] != DiffChanged {
+		t.Fatalf("wrong sibling diff: %v", got)
+	}
+	// Diff against the common ancestor sees only one side's change.
+	diff, err = e.bt.DiffVersions(1, b2.Sid, 0)
+	if err != nil || len(diff) != 1 || string(diff[0].Key) != string(key(5)) {
+		t.Fatalf("ancestor diff: %v %v", diff, err)
+	}
+}

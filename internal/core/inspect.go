@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"minuet/internal/sinfonia"
+	"minuet/internal/space"
+)
+
+// TreeReport describes a tree's physical shape at a snapshot: how deep it
+// is, how many nodes and keys it holds per level, and how its nodes are
+// distributed across memnodes. Produced by Inspect, which walks the tree
+// directly (bypassing caches) — an offline/diagnostic tool, not a data-path
+// operation.
+type TreeReport struct {
+	Sid        uint64
+	Height     int
+	Nodes      int
+	Leaves     int
+	Keys       int
+	Bytes      int // total encoded node bytes
+	PerLevel   []LevelReport
+	PerMemnode map[sinfonia.NodeID]int // node count by memnode
+	// FillAvg is the mean leaf occupancy relative to MaxLeafKeys.
+	FillAvg float64
+}
+
+// LevelReport aggregates one level of the tree (index 0 = leaves).
+type LevelReport struct {
+	Height int
+	Nodes  int
+	Keys   int
+}
+
+// Inspect walks the tree visible at snapshot s and reports its shape.
+func (bt *BTree) Inspect(s Snapshot) (*TreeReport, error) {
+	r := &TreeReport{Sid: s.Sid, PerMemnode: make(map[sinfonia.NodeID]int)}
+	rootRes, err := bt.c.Read(s.Root)
+	if err != nil {
+		return nil, err
+	}
+	if !rootRes.Exists {
+		return nil, fmt.Errorf("core: snapshot %d root missing", s.Sid)
+	}
+	root, err := decodeNode(rootRes.Data)
+	if err != nil {
+		return nil, err
+	}
+	r.Height = int(root.Height)
+	r.PerLevel = make([]LevelReport, r.Height+1)
+	for i := range r.PerLevel {
+		r.PerLevel[i].Height = i
+	}
+	if err := bt.inspectNode(r, s.Root, s.Sid); err != nil {
+		return nil, err
+	}
+	if r.Leaves > 0 && bt.cfg.MaxLeafKeys > 0 {
+		r.FillAvg = float64(r.Keys) / float64(r.Leaves*bt.cfg.MaxLeafKeys)
+	}
+	return r, nil
+}
+
+func (bt *BTree) inspectNode(r *TreeReport, p Ptr, sid uint64) error {
+	res, err := bt.c.Read(p)
+	if err != nil {
+		return err
+	}
+	if !res.Exists {
+		return fmt.Errorf("core: node %v missing", p)
+	}
+	n, err := decodeNode(res.Data)
+	if err != nil {
+		return fmt.Errorf("core: node %v corrupt: %w", p, err)
+	}
+	r.Nodes++
+	r.Bytes += len(res.Data)
+	r.PerMemnode[p.Node]++
+	lvl := &r.PerLevel[n.Height]
+	lvl.Nodes++
+	if n.IsLeaf() {
+		r.Leaves++
+		r.Keys += len(n.Keys)
+		lvl.Keys += len(n.Keys)
+		return nil
+	}
+	lvl.Keys += len(n.Keys)
+	for _, kid := range n.Kids {
+		if err := bt.inspectNode(r, kid, sid); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MemnodeUsage reports, for every memnode, the total item count and bytes
+// in its dynamic region — cluster-wide storage balance diagnostics.
+func (bt *BTree) MemnodeUsage() (map[sinfonia.NodeID]struct{ Items, Bytes int }, error) {
+	out := make(map[sinfonia.NodeID]struct{ Items, Bytes int })
+	for _, node := range bt.c.Nodes() {
+		items, err := bt.c.Scan(node, space.DynamicBase, space.CatalogBase, 0)
+		if err != nil {
+			return nil, err
+		}
+		st, err := bt.c.Stats(node)
+		if err != nil {
+			return nil, err
+		}
+		out[node] = struct{ Items, Bytes int }{Items: len(items), Bytes: int(st.Bytes)}
+	}
+	return out, nil
+}
+
+// String renders the report for console tools.
+func (r *TreeReport) String() string {
+	s := fmt.Sprintf("snapshot %d: height=%d nodes=%d leaves=%d keys=%d bytes=%d fill=%.0f%%\n",
+		r.Sid, r.Height, r.Nodes, r.Leaves, r.Keys, r.Bytes, 100*r.FillAvg)
+	for i := len(r.PerLevel) - 1; i >= 0; i-- {
+		l := r.PerLevel[i]
+		s += fmt.Sprintf("  level %d: %d nodes, %d keys\n", l.Height, l.Nodes, l.Keys)
+	}
+	for n, c := range r.PerMemnode {
+		s += fmt.Sprintf("  memnode %d: %d nodes\n", n, c)
+	}
+	return s
+}

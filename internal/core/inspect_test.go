@@ -1,0 +1,96 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInspectShape(t *testing.T) {
+	e := newEnv(t, 3, smallCfg())
+	const n = 400
+	for i := 0; i < n; i++ {
+		mustPut(t, e.bt, i)
+	}
+	tip, err := e.bt.Tip()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.bt.Inspect(tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Keys != n {
+		t.Fatalf("inspect counted %d keys, want %d", r.Keys, n)
+	}
+	if r.Height < 2 {
+		t.Fatalf("400 keys at fanout 4 should be deep, height=%d", r.Height)
+	}
+	if r.Leaves == 0 || r.Nodes <= r.Leaves {
+		t.Fatalf("nodes=%d leaves=%d", r.Nodes, r.Leaves)
+	}
+	if len(r.PerLevel) != r.Height+1 {
+		t.Fatalf("levels %d for height %d", len(r.PerLevel), r.Height)
+	}
+	if r.PerLevel[0].Keys != n {
+		t.Fatalf("leaf level holds %d keys", r.PerLevel[0].Keys)
+	}
+	if r.PerLevel[r.Height].Nodes != 1 {
+		t.Fatalf("root level has %d nodes", r.PerLevel[r.Height].Nodes)
+	}
+	if r.FillAvg <= 0 || r.FillAvg > 1 {
+		t.Fatalf("fill %f", r.FillAvg)
+	}
+	// Placement balance: with round-robin allocation every memnode holds a
+	// fair share (±3x of ideal is generous but catches gross imbalance).
+	ideal := r.Nodes / 3
+	for node, c := range r.PerMemnode {
+		if c < ideal/3 || c > ideal*3 {
+			t.Fatalf("memnode %d holds %d of %d nodes", node, c, r.Nodes)
+		}
+	}
+	if !strings.Contains(r.String(), "height=") {
+		t.Fatal("report string empty")
+	}
+}
+
+func TestInspectSnapshotVsTip(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 100; i++ {
+		mustPut(t, e.bt, i)
+	}
+	snap, _ := e.bt.CreateSnapshot()
+	for i := 100; i < 300; i++ {
+		mustPut(t, e.bt, i)
+	}
+	rs, err := e.bt.Inspect(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tip, _ := e.bt.Tip()
+	rt, err := e.bt.Inspect(tip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Keys != 100 || rt.Keys != 300 {
+		t.Fatalf("snapshot %d keys, tip %d keys", rs.Keys, rt.Keys)
+	}
+}
+
+func TestMemnodeUsage(t *testing.T) {
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 200; i++ {
+		mustPut(t, e.bt, i)
+	}
+	usage, err := e.bt.MemnodeUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(usage) != 2 {
+		t.Fatalf("usage for %d memnodes", len(usage))
+	}
+	for node, u := range usage {
+		if u.Items == 0 || u.Bytes == 0 {
+			t.Fatalf("memnode %d reports empty usage", node)
+		}
+	}
+}

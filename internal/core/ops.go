@@ -1,0 +1,331 @@
+package core
+
+import (
+	"minuet/internal/dyntx"
+	"minuet/internal/wire"
+)
+
+// sepInsert describes a separator to add to a parent after a child split.
+type sepInsert struct {
+	key   wire.Key
+	right Ptr
+}
+
+// writeNodeBack emits the updated image of an existing node. Leaves on write
+// paths are already in the read set (transactional read), so a plain write
+// suffices; interior nodes were dirty-read and must first join the read set
+// at their observed version (§3: "if the object is written later on, it will
+// first be added to the read set"). In legacy mode interior updates also
+// bump the node's replicated sequence-table entry on every memnode — the
+// cost dirty traversals eliminate.
+func (bt *BTree) writeNodeBack(t *dyntx.Txn, e pathEntry, n *Node, inReadSet bool) {
+	data := n.encode()
+	if inReadSet {
+		t.Write(refNode(e.ptr), data)
+	} else {
+		t.WriteValidated(refNode(e.ptr), data, e.version)
+	}
+	if !n.IsLeaf() && !bt.cfg.DirtyTraversals {
+		// Legacy mode: bump the node's replicated sequence number on every
+		// memnode — the write-all that makes interior updates expensive in
+		// the prior system (§3).
+		t.Write(bt.refSeq(e.ptr), nil)
+	}
+	if bt.cache != nil {
+		bt.cache.invalidate(e.ptr)
+	}
+}
+
+// writeNewNode emits a freshly allocated node. The write is blind: the
+// allocator guarantees exclusive ownership of the address.
+func (bt *BTree) writeNewNode(t *dyntx.Txn, p Ptr, n *Node) {
+	t.Write(refNode(p), n.encode())
+	if !n.IsLeaf() && !bt.cfg.DirtyTraversals {
+		t.Write(bt.refSeq(p), nil)
+	}
+}
+
+// markCopied records on the old node that its state now lives at copyPtr for
+// snapshot sid: linear mode sets the copied-snapshot id (§4.2); branching
+// mode inserts a redirect, enforcing the β bound with discretionary copies
+// (§5.2).
+func (bt *BTree) markCopied(t *dyntx.Txn, e pathEntry, sid uint64, copyPtr Ptr, inReadSet bool) error {
+	if bt.cfg.Branching {
+		return bt.markCopiedBranching(t, e, sid, copyPtr, inReadSet)
+	}
+	old := e.node.clone()
+	old.Copied = sid
+	bt.writeNodeBack(t, e, old, inReadSet)
+	return nil
+}
+
+// splitNode splits an over-full node image into left and right halves and
+// returns the separator key. For leaves the separator stays in the right
+// half; for interior nodes it moves up to the parent.
+func splitNode(n *Node) (left, right *Node, sep wire.Key) {
+	mid := len(n.Keys) / 2
+	sep = n.Keys[mid]
+
+	left = &Node{Tree: n.Tree, Height: n.Height, Created: n.Created, Copied: NoSnap, Low: n.Low, High: wire.FenceAt(sep)}
+	right = &Node{Tree: n.Tree, Height: n.Height, Created: n.Created, Copied: NoSnap, Low: wire.FenceAt(sep), High: n.High}
+	if n.IsLeaf() {
+		left.Keys = append([]wire.Key(nil), n.Keys[:mid]...)
+		left.Vals = append([][]byte(nil), n.Vals[:mid]...)
+		right.Keys = append([]wire.Key(nil), n.Keys[mid:]...)
+		right.Vals = append([][]byte(nil), n.Vals[mid:]...)
+	} else {
+		left.Keys = append([]wire.Key(nil), n.Keys[:mid]...)
+		left.Kids = append([]Ptr(nil), n.Kids[:mid+1]...)
+		right.Keys = append([]wire.Key(nil), n.Keys[mid+1:]...)
+		right.Kids = append([]Ptr(nil), n.Kids[mid+1:]...)
+	}
+	return left, right, sep
+}
+
+// applyUpdate installs newContent as the updated image of path[level],
+// performing copy-on-write when the node belongs to an earlier snapshot and
+// splitting when it overflows, then propagates pointer changes to the
+// parent. newContent must be a private clone. The leaf (last path entry) is
+// assumed to be in the read set.
+func (bt *BTree) applyUpdate(t *dyntx.Txn, sid uint64, path []pathEntry, level int, newContent *Node) error {
+	e := path[level]
+	isLeaf := newContent.IsLeaf()
+	inReadSet := isLeaf && level == len(path)-1
+	inPlace := e.node.Created == sid
+
+	maxKeys := bt.cfg.MaxLeafKeys
+	if !isLeaf {
+		maxKeys = bt.cfg.MaxInnerKeys
+	}
+
+	if len(newContent.Keys) <= maxKeys {
+		if inPlace {
+			bt.writeNodeBack(t, e, newContent, inReadSet)
+			return nil
+		}
+		// Copy-on-write (Fig 4): write the new state at a fresh location
+		// (same memnode, preserving placement), record the copy on the old
+		// node, and repoint the parent.
+		copyPtr, err := bt.allocNodeOn(t, e.ptr.Node)
+		if err != nil {
+			return err
+		}
+		newContent.Created = sid
+		newContent.Copied = NoSnap
+		newContent.Redirects = nil
+		bt.writeNewNode(t, copyPtr, newContent)
+		if err := bt.markCopied(t, e, sid, copyPtr, inReadSet); err != nil {
+			return err
+		}
+		bt.copies.Add(1)
+		return bt.replaceChild(t, sid, path, level, e.ptr, copyPtr, nil)
+	}
+
+	// Split. Both halves belong to snapshot sid.
+	left, right, sep := splitNode(newContent)
+	left.Created, right.Created = sid, sid
+	bt.splits.Add(1)
+
+	rightPtr, err := bt.allocNode(t)
+	if err != nil {
+		return err
+	}
+	var leftPtr Ptr
+	if inPlace {
+		// The left half overwrites the node in place; its key range
+		// shrinks, so any concurrent traversal into the moved range fails
+		// its fence check and retries.
+		leftPtr = e.ptr
+		bt.writeNodeBack(t, e, left, inReadSet)
+	} else {
+		leftPtr, err = bt.allocNodeOn(t, e.ptr.Node)
+		if err != nil {
+			return err
+		}
+		bt.writeNewNode(t, leftPtr, left)
+		if err := bt.markCopied(t, e, sid, leftPtr, inReadSet); err != nil {
+			return err
+		}
+		bt.copies.Add(1)
+	}
+	bt.writeNewNode(t, rightPtr, right)
+	return bt.replaceChild(t, sid, path, level, e.ptr, leftPtr, &sepInsert{key: sep, right: rightPtr})
+}
+
+// replaceChild updates the parent of path[level] so that its child slot
+// pointing at oldPtr points at newPtr, optionally inserting a separator
+// produced by a split. At the root it grows the tree by one level and
+// updates the (replicated) root location.
+func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level int, oldPtr, newPtr Ptr, ins *sepInsert) error {
+	if level == 0 {
+		root := path[0]
+		if ins == nil {
+			if newPtr == oldPtr {
+				return nil
+			}
+			// The root's created-snapshot always equals the tip (it is
+			// copied at snapshot/branch creation), so it is never CoW'd
+			// here. Reaching this means the traversal used a stale root.
+			bt.invalidateTip()
+			return dyntx.ErrRetry
+		}
+		newRoot := &Node{
+			Tree:    root.node.Tree,
+			Height:  root.node.Height + 1,
+			Created: sid,
+			Copied:  NoSnap,
+			Low:     wire.NegInf,
+			High:    wire.PosInf,
+			Keys:    []wire.Key{ins.key},
+			Kids:    []Ptr{newPtr, ins.right},
+		}
+		rootPtr, err := bt.allocNode(t)
+		if err != nil {
+			return err
+		}
+		bt.writeNewNode(t, rootPtr, newRoot)
+		return bt.writeRootLocation(t, sid, rootPtr)
+	}
+
+	parent := path[level-1]
+	i := parent.childIdx
+	pw := parent.node.clone()
+	if i >= len(pw.Kids) || pw.Kids[i] != oldPtr {
+		// The cached parent no longer matches the traversal; retry.
+		bt.invalidateTraversal(parent.ptr, nil)
+		return dyntx.ErrRetry
+	}
+	pw.Kids[i] = newPtr
+	if ins != nil {
+		pw.Keys = append(pw.Keys, nil)
+		copy(pw.Keys[i+1:], pw.Keys[i:])
+		pw.Keys[i] = ins.key
+		pw.Kids = append(pw.Kids, Ptr{})
+		copy(pw.Kids[i+2:], pw.Kids[i+1:])
+		pw.Kids[i+1] = ins.right
+	} else if newPtr == oldPtr {
+		return nil
+	}
+	return bt.applyUpdate(t, sid, path, level-1, pw)
+}
+
+// writeRootLocation records a new root for the tip: in linear mode the
+// replicated tip-root object, in branching mode the snapshot's catalog slot.
+// Updating a replicated object engages every memnode, which is why root
+// splits are rare-but-heavy events in both the paper and this code.
+func (bt *BTree) writeRootLocation(t *dyntx.Txn, sid uint64, rootPtr Ptr) error {
+	if bt.cfg.Branching {
+		return bt.writeBranchRoot(t, sid, rootPtr)
+	}
+	t.Write(bt.refTipRoot(), encodePtr(rootPtr))
+	// Our cached tip root is now stale regardless of commit outcome;
+	// refetch lazily.
+	bt.invalidateTip()
+	return nil
+}
+
+// GetTxn looks up k at the tip inside an existing transaction. The caller
+// owns commit; on success the read is strictly serializable.
+func (bt *BTree) GetTxn(t *dyntx.Txn, k wire.Key) ([]byte, bool, error) {
+	sid, root, err := bt.injectTip(t)
+	if err != nil {
+		return nil, false, err
+	}
+	path, err := bt.traverse(t, root, sid, k, true)
+	if err != nil {
+		return nil, false, err
+	}
+	leaf := path[len(path)-1].node
+	i, ok := leaf.search(k)
+	if !ok {
+		return nil, false, nil
+	}
+	return leaf.Vals[i], true, nil
+}
+
+// PutTxn inserts or updates k at the tip inside an existing transaction.
+func (bt *BTree) PutTxn(t *dyntx.Txn, k wire.Key, v []byte) error {
+	sid, root, err := bt.injectTip(t)
+	if err != nil {
+		return err
+	}
+	return bt.putAt(t, sid, root, k, v)
+}
+
+// putAt performs the write at an explicit (sid, root) target; shared by tip
+// and branch operations.
+func (bt *BTree) putAt(t *dyntx.Txn, sid uint64, root Ptr, k wire.Key, v []byte) error {
+	path, err := bt.traverse(t, root, sid, k, true)
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1].node
+	nl := leaf.clone()
+	i, found := nl.search(k)
+	if found {
+		nl.Vals[i] = v
+	} else {
+		nl.Keys = append(nl.Keys, nil)
+		copy(nl.Keys[i+1:], nl.Keys[i:])
+		nl.Keys[i] = k
+		nl.Vals = append(nl.Vals, nil)
+		copy(nl.Vals[i+1:], nl.Vals[i:])
+		nl.Vals[i] = v
+	}
+	return bt.applyUpdate(t, sid, path, len(path)-1, nl)
+}
+
+// RemoveTxn deletes k at the tip inside an existing transaction, reporting
+// whether the key was present. Minuet does not merge under-full nodes (see
+// DESIGN.md): empty leaves keep their fences and remain correct.
+func (bt *BTree) RemoveTxn(t *dyntx.Txn, k wire.Key) (bool, error) {
+	sid, root, err := bt.injectTip(t)
+	if err != nil {
+		return false, err
+	}
+	return bt.removeAt(t, sid, root, k)
+}
+
+func (bt *BTree) removeAt(t *dyntx.Txn, sid uint64, root Ptr, k wire.Key) (bool, error) {
+	path, err := bt.traverse(t, root, sid, k, true)
+	if err != nil {
+		return false, err
+	}
+	leaf := path[len(path)-1].node
+	i, found := leaf.search(k)
+	if !found {
+		return false, nil
+	}
+	nl := leaf.clone()
+	nl.Keys = append(nl.Keys[:i], nl.Keys[i+1:]...)
+	nl.Vals = append(nl.Vals[:i], nl.Vals[i+1:]...)
+	if err := bt.applyUpdate(t, sid, path, len(path)-1, nl); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Get looks up k at the tip (strictly serializable).
+func (bt *BTree) Get(k wire.Key) (val []byte, ok bool, err error) {
+	err = bt.run(func(t *dyntx.Txn) error {
+		var e error
+		val, ok, e = bt.GetTxn(t, k)
+		return e
+	})
+	return val, ok, err
+}
+
+// Put inserts or updates k at the tip.
+func (bt *BTree) Put(k wire.Key, v []byte) error {
+	return bt.run(func(t *dyntx.Txn) error { return bt.PutTxn(t, k, v) })
+}
+
+// Remove deletes k at the tip, reporting whether it was present.
+func (bt *BTree) Remove(k wire.Key) (existed bool, err error) {
+	err = bt.run(func(t *dyntx.Txn) error {
+		var e error
+		existed, e = bt.RemoveTxn(t, k)
+		return e
+	})
+	return existed, err
+}

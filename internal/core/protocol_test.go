@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"minuet/internal/sinfonia"
+)
+
+// These tests pin down the protocol costs that Minuet's design is built
+// around (§2.3, §3): with a warm proxy cache, a get commits in ONE round
+// trip to ONE memnode, and a non-splitting update in TWO (leaf fetch +
+// single-node commit). They count actual transport messages, so a
+// regression that silently adds round trips or engages extra memnodes
+// fails here even though results stay correct.
+
+// callsDuring measures transport calls issued by fn.
+func callsDuring(e *testEnv, fn func()) (calls int64, perNode map[sinfonia.NodeID]int64) {
+	e.tr.ResetStats()
+	fn()
+	st := e.tr.Stats()
+	per := make(map[sinfonia.NodeID]int64)
+	for n, c := range st.PerNode {
+		per[sinfonia.NodeID(n)] = c
+	}
+	return st.Calls, per
+}
+
+func TestGetIsOneRoundTripWarm(t *testing.T) {
+	e := newEnv(t, 4, smallCfg())
+	for i := 0; i < 200; i++ {
+		mustPut(t, e.bt, i)
+	}
+	// Warm the cache and the tip state.
+	if _, _, err := e.bt.Get(key(7)); err != nil {
+		t.Fatal(err)
+	}
+	calls, perNode := callsDuring(e, func() {
+		v, ok, err := e.bt.Get(key(7))
+		if err != nil || !ok || string(v) != string(val(7)) {
+			t.Fatalf("get: %q %v %v", v, ok, err)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("warm get cost %d round trips, want 1 (per-node %v)", calls, perNode)
+	}
+	if len(perNode) != 1 {
+		t.Fatalf("warm get engaged %d memnodes, want 1", len(perNode))
+	}
+}
+
+func TestUpdateIsTwoRoundTripsWarm(t *testing.T) {
+	e := newEnv(t, 4, smallCfg())
+	for i := 0; i < 200; i++ {
+		mustPut(t, e.bt, i)
+	}
+	if _, _, err := e.bt.Get(key(9)); err != nil {
+		t.Fatal(err)
+	}
+	calls, perNode := callsDuring(e, func() {
+		if err := e.bt.Put(key(9), []byte("updated")); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Leaf fetch + one-phase commit at the leaf's memnode.
+	if calls != 2 {
+		t.Fatalf("warm in-place update cost %d round trips, want 2 (per-node %v)", calls, perNode)
+	}
+	if len(perNode) != 1 {
+		t.Fatalf("update engaged %d memnodes, want 1 (leaf owner)", len(perNode))
+	}
+}
+
+func TestSnapshotReadIsOneRoundTripWarm(t *testing.T) {
+	e := newEnv(t, 4, smallCfg())
+	for i := 0; i < 200; i++ {
+		mustPut(t, e.bt, i)
+	}
+	snap, err := e.bt.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.bt.GetSnap(snap, key(3)); err != nil {
+		t.Fatal(err)
+	}
+	calls, _ := callsDuring(e, func() {
+		v, ok, err := e.bt.GetSnap(snap, key(3))
+		if err != nil || !ok || string(v) != string(val(3)) {
+			t.Fatalf("snap get: %q %v %v", v, ok, err)
+		}
+	})
+	// One dirty leaf fetch; zero validation traffic (§4.2).
+	if calls != 1 {
+		t.Fatalf("warm snapshot get cost %d round trips, want 1", calls)
+	}
+}
+
+func TestLegacyInternalUpdateEngagesAllMemnodes(t *testing.T) {
+	// In legacy mode (dirty traversals OFF), an operation that updates an
+	// interior node must write the replicated sequence-number table on
+	// EVERY memnode — the cost §3 eliminates. Force a split and check.
+	cfg := smallCfg()
+	cfg.DirtyTraversals = false
+	e := newEnv(t, 4, cfg)
+	// Fill one leaf to the brink.
+	for i := 0; i < cfg.MaxLeafKeys; i++ {
+		mustPut(t, e.bt, i)
+	}
+	_, perNode := callsDuring(e, func() {
+		mustPut(t, e.bt, cfg.MaxLeafKeys) // overflows the leaf → split → parent update
+	})
+	if e.bt.Stats().Splits == 0 {
+		t.Fatal("expected a split")
+	}
+	if len(perNode) != 4 {
+		t.Fatalf("legacy split engaged %d memnodes, want all 4 (%v)", len(perNode), perNode)
+	}
+}
+
+func TestDirtySplitDoesNotEngageAllMemnodes(t *testing.T) {
+	// The same split with dirty traversals ON touches only the memnodes
+	// holding the affected nodes — no replicated sequence-number writes.
+	cfg := smallCfg()
+	e := newEnv(t, 8, cfg)
+	for i := 0; i < cfg.MaxLeafKeys; i++ {
+		mustPut(t, e.bt, i)
+	}
+	_, perNode := callsDuring(e, func() {
+		mustPut(t, e.bt, cfg.MaxLeafKeys)
+	})
+	if e.bt.Stats().Splits == 0 {
+		t.Fatal("expected a split")
+	}
+	if len(perNode) >= 8 {
+		t.Fatalf("dirty-mode split engaged all %d memnodes: %v", len(perNode), perNode)
+	}
+}
+
+func TestSnapshotCreationEngagesAllMemnodes(t *testing.T) {
+	// Snapshot creation rewrites the replicated tip id and root location on
+	// every memnode (§4.1) — the one deliberately write-all operation.
+	e := newEnv(t, 4, smallCfg())
+	mustPut(t, e.bt, 1)
+	_, perNode := callsDuring(e, func() {
+		if _, err := e.bt.CreateSnapshot(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if len(perNode) != 4 {
+		t.Fatalf("snapshot creation engaged %d memnodes, want all 4", len(perNode))
+	}
+}
+
+func TestColdCacheCostsOneRoundTripPerLevel(t *testing.T) {
+	// A cold traversal fetches each interior level once plus the leaf; the
+	// next operation is back to one round trip.
+	e := newEnv(t, 2, smallCfg())
+	for i := 0; i < 200; i++ {
+		mustPut(t, e.bt, i)
+	}
+	// Fresh proxy: nothing cached.
+	cold := e.openProxy(t, e.nodes[1])
+	e.tr.ResetStats()
+	if _, _, err := cold.Get(key(50)); err != nil {
+		t.Fatal(err)
+	}
+	coldCalls := e.tr.Stats().Calls
+	if coldCalls < 3 { // tip fetch + ≥1 interior + leaf
+		t.Fatalf("cold get cost only %d calls; cache suspiciously warm", coldCalls)
+	}
+	e.tr.ResetStats()
+	if _, _, err := cold.Get(key(50)); err != nil {
+		t.Fatal(err)
+	}
+	if warm := e.tr.Stats().Calls; warm != 1 {
+		t.Fatalf("second get cost %d calls, want 1", warm)
+	}
+}

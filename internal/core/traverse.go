@@ -1,0 +1,240 @@
+package core
+
+import (
+	"minuet/internal/dyntx"
+	"minuet/internal/wire"
+)
+
+// pathEntry records one node visited by a traversal, along with the item
+// version observed (needed when the node is later written) and the child
+// slot the traversal took.
+type pathEntry struct {
+	ptr      Ptr
+	node     *Node
+	version  uint64 // item version observed at the memnode (or via cache)
+	childIdx int    // index of the child taken (interior nodes)
+}
+
+// loadInner fetches an interior node, serving from the proxy cache when
+// possible. In legacy mode (dirty traversals OFF) the node's replicated
+// sequence-table entry is fetched alongside it and added to t's read set, so
+// that commit validates the whole traversal path exactly as in Aguilera et
+// al. — while replication keeps those validations local to the commit's
+// memnode.
+func (bt *BTree) loadInner(t *dyntx.Txn, p Ptr) (*Node, uint64, error) {
+	if bt.cache != nil {
+		if e, ok := bt.cache.get(p); ok {
+			if !bt.cfg.DirtyTraversals {
+				t.InjectRead(bt.refSeq(p), e.seqVer, nil, e.seqVer != 0)
+			}
+			return e.node, e.version, nil
+		}
+	}
+
+	if bt.cfg.DirtyTraversals {
+		obj, err := t.DirtyRead(refNode(p))
+		if err != nil {
+			return nil, 0, err
+		}
+		if !obj.Exists {
+			return nil, 0, dyntx.ErrRetry
+		}
+		n, err := decodeNode(obj.Data)
+		if err != nil {
+			return nil, 0, dyntx.ErrRetry
+		}
+		if bt.cache != nil && obj.Version > 0 && !n.IsLeaf() {
+			bt.cache.put(p, cacheEntry{node: n, version: obj.Version})
+		}
+		return n, obj.Version, nil
+	}
+
+	// Legacy mode: fetch the node image and its seq-table entry (local
+	// replica) in one minitransaction; the entry joins the read set.
+	seqRef := bt.refSeq(p)
+	// Read the seq entry at the node's owner, which also holds a replica;
+	// this keeps the fetch a single-memnode, single-round-trip operation.
+	seqRefAtOwner := dyntx.Ref{Ptr: Ptr{Node: p.Node, Addr: seqRef.Ptr.Addr}, Replicated: true}
+	objs, err := t.DirtyReadMany([]dyntx.Ref{refNode(p), seqRefAtOwner})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !objs[0].Exists {
+		return nil, 0, dyntx.ErrRetry
+	}
+	n, err := decodeNode(objs[0].Data)
+	if err != nil {
+		return nil, 0, dyntx.ErrRetry
+	}
+	seqVer := objs[1].Version
+	t.InjectRead(seqRef, seqVer, nil, objs[1].Exists)
+	if bt.cache != nil && objs[0].Version > 0 && !n.IsLeaf() {
+		bt.cache.put(p, cacheEntry{node: n, version: objs[0].Version, seqVer: seqVer})
+	}
+	return n, objs[0].Version, nil
+}
+
+// loadLeaf fetches a leaf node. Up-to-date operations (validate=true) read
+// it transactionally — the read joins the read set and piggy-backs
+// validation of the tip objects, making the common case a single round trip.
+// Reads on read-only snapshots (validate=false) fetch dirtily and rely on
+// fence keys and copied-snapshot checks alone (§4.2).
+func (bt *BTree) loadLeaf(t *dyntx.Txn, p Ptr, validate bool) (*Node, uint64, error) {
+	var obj dyntx.Obj
+	var err error
+	if validate {
+		obj, err = t.Read(refNode(p))
+	} else {
+		obj, err = t.DirtyRead(refNode(p))
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	if !obj.Exists {
+		return nil, 0, dyntx.ErrRetry
+	}
+	n, err := decodeNode(obj.Data)
+	if err != nil {
+		return nil, 0, dyntx.ErrRetry
+	}
+	return n, obj.Version, nil
+}
+
+// checkNode applies the per-node safety checks that make dirty traversals
+// sound: the node must belong to snapshot sid's history, must not have been
+// copied toward sid (linear mode), and its fences must cover k.
+// In branching mode the caller has already followed redirects.
+func (bt *BTree) checkNode(n *Node, sid uint64, k wire.Key) bool {
+	if bt.cfg.Branching {
+		ok, err := bt.cat.IsAncestorOrSelf(n.Created, sid)
+		if err != nil || !ok {
+			return false
+		}
+	} else {
+		if n.Created > sid {
+			return false // node from a later snapshot: stale pointer or reuse
+		}
+		if n.Copied != NoSnap && n.Copied <= sid {
+			// The traversal should be at the copy (or a copy of the copy);
+			// abort and retry — parents are already updated (§4.2).
+			return false
+		}
+	}
+	return n.inRange(k)
+}
+
+// followRedirects resolves branching-mode redirects (§5.2): while the node
+// carries a redirect whose snapshot is an ancestor-or-self of sid, hop to
+// that copy. Among several matches the deepest (most specific) wins.
+func (bt *BTree) followRedirects(t *dyntx.Txn, p Ptr, n *Node, ver uint64, sid uint64, validateLeaf bool) (Ptr, *Node, uint64, error) {
+	if !bt.cfg.Branching {
+		return p, n, ver, nil
+	}
+	for hops := 0; hops < 64; hops++ {
+		best := -1
+		var bestDepth uint32
+		for i, r := range n.Redirects {
+			ok, err := bt.cat.IsAncestorOrSelf(r.Sid, sid)
+			if err != nil {
+				return Ptr{}, nil, 0, err
+			}
+			if !ok {
+				continue
+			}
+			e, err := bt.cat.Get(r.Sid)
+			if err != nil {
+				return Ptr{}, nil, 0, err
+			}
+			if best == -1 || e.Depth > bestDepth {
+				best, bestDepth = i, e.Depth
+			}
+		}
+		if best == -1 {
+			return p, n, ver, nil
+		}
+		p = n.Redirects[best].Ptr
+		var err error
+		if n.Height == 0 {
+			n, ver, err = bt.loadLeaf(t, p, validateLeaf)
+		} else {
+			n, ver, err = bt.loadInner(t, p)
+		}
+		if err != nil {
+			return Ptr{}, nil, 0, err
+		}
+	}
+	return Ptr{}, nil, 0, dyntx.ErrRetry // redirect cycle: torn state, retry
+}
+
+// traverse descends from root to the leaf responsible for k at snapshot sid,
+// following Fig 5: interior nodes are read dirtily (cache-first), fence keys
+// and height are checked at every step, and only the leaf is read
+// transactionally (when validateLeaf is set). It returns the visited path,
+// leaf last. On any inconsistency it invalidates the relevant cache entries
+// and returns dyntx.ErrRetry for the optimistic retry loop.
+func (bt *BTree) traverse(t *dyntx.Txn, root Ptr, sid uint64, k wire.Key, validateLeaf bool) ([]pathEntry, error) {
+	// A Minuet tree always has at least two levels, so the root is
+	// interior; a leaf here means a stale root pointer.
+	path := make([]pathEntry, 0, 8)
+
+	curPtr := root
+	cur, ver, err := bt.loadInner(t, curPtr)
+	if err != nil {
+		return nil, err
+	}
+	curPtr, cur, ver, err = bt.followRedirects(t, curPtr, cur, ver, sid, validateLeaf)
+	if err != nil {
+		return nil, err
+	}
+	if cur.IsLeaf() || !bt.checkNode(cur, sid, k) {
+		// A bad root means the tip cache itself is stale.
+		bt.invalidateTip()
+		bt.invalidateTraversal(curPtr, nil)
+		return nil, dyntx.ErrRetry
+	}
+	path = append(path, pathEntry{ptr: curPtr, node: cur, version: ver})
+
+	for !cur.IsLeaf() {
+		i := cur.childIndex(k)
+		path[len(path)-1].childIdx = i
+		nextPtr := cur.Kids[i]
+
+		var next *Node
+		var nver uint64
+		if cur.Height == 1 {
+			next, nver, err = bt.loadLeaf(t, nextPtr, validateLeaf)
+		} else {
+			next, nver, err = bt.loadInner(t, nextPtr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		nextPtr, next, nver, err = bt.followRedirects(t, nextPtr, next, nver, sid, validateLeaf)
+		if err != nil {
+			return nil, err
+		}
+		// Fatal-inconsistency checks (Fig 5 line 15 plus §4.2): height must
+		// decrease by exactly one, and the child must pass fence/version
+		// checks.
+		if next.Height != cur.Height-1 || !bt.checkNode(next, sid, k) {
+			bt.invalidateTraversal(nextPtr, &path[len(path)-1])
+			return nil, dyntx.ErrRetry
+		}
+		path = append(path, pathEntry{ptr: nextPtr, node: next, version: nver})
+		cur = next
+		curPtr = nextPtr
+	}
+	return path, nil
+}
+
+// invalidateTraversal drops the cache entries that led to an inconsistent
+// read: the offending node and the parent whose stale pointer produced it.
+func (bt *BTree) invalidateTraversal(child Ptr, parent *pathEntry) {
+	if bt.cache == nil {
+		return
+	}
+	bt.cache.invalidate(child)
+	if parent != nil {
+		bt.cache.invalidate(parent.ptr)
+	}
+}

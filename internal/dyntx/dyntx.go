@@ -1,0 +1,458 @@
+// Package dyntx implements the dynamic transaction layer of Aguilera et
+// al.'s distributed B-tree (§2.2 of the Minuet paper), extended with the
+// dirty reads that are Minuet's concurrency-control contribution (§3).
+//
+// A dynamic transaction reads and writes arbitrary objects (B-tree nodes)
+// using optimistic concurrency control with backward validation: reads
+// accumulate in a read set tagged with the version observed; writes are
+// buffered in a write set; Commit executes one minitransaction that
+// validates every read-set version and, if validation succeeds, applies the
+// write set atomically.
+//
+// Dirty reads fetch an object *without* adding it to the read set. They let
+// B-tree traversals skip validation of interior nodes entirely, shrinking
+// the read set to (usually) a single leaf, at the cost of extra safety
+// checks in the traversal itself (fence keys; see internal/core).
+//
+// Replicated objects — the tip snapshot id, root location, and (in legacy
+// mode) the interior sequence-number table — are mirrored at the same
+// address on every memnode and updated atomically on all of them, so a read
+// or validation can use whichever memnode the transaction already engages.
+// That is what lets most B-tree operations commit with one round trip to
+// one memnode.
+package dyntx
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"minuet/internal/sinfonia"
+)
+
+// Ref names an object a transaction can access. Replicated objects live at
+// the same address on every memnode; Ptr.Node then names the *preferred*
+// replica (usually the proxy's local memnode) and is ignored for identity.
+type Ref struct {
+	Ptr        sinfonia.Ptr
+	Replicated bool
+}
+
+// refKey collapses replicated refs to a node-independent identity.
+func (r Ref) key() sinfonia.Ptr {
+	if r.Replicated {
+		return sinfonia.Ptr{Node: -1, Addr: r.Ptr.Addr}
+	}
+	return r.Ptr
+}
+
+// Obj is a versioned object value returned by reads.
+type Obj struct {
+	Data    []byte
+	Version uint64
+	Exists  bool
+}
+
+// StaleError reports that validation failed: some read-set object changed
+// under the transaction. Refs identifies the stale objects when known (the
+// caller uses this to invalidate its cache).
+type StaleError struct {
+	Refs []Ref
+}
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("dyntx: transaction aborted, %d stale object(s)", len(e.Refs))
+}
+
+// IsStale reports whether err is (or wraps) a StaleError.
+func IsStale(err error) bool {
+	var s *StaleError
+	return errors.As(err, &s)
+}
+
+// ErrAborted is returned by operations on a transaction that has already
+// aborted (for example, by a fence-key safety check).
+var ErrAborted = errors.New("dyntx: transaction aborted")
+
+type readEntry struct {
+	ref     Ref
+	node    sinfonia.NodeID // replica the version was observed at
+	version uint64
+	data    []byte
+	exists  bool
+}
+
+type writeEntry struct {
+	ref  Ref
+	data []byte
+}
+
+// Txn is a dynamic transaction. Not safe for concurrent use.
+type Txn struct {
+	c *sinfonia.Client
+
+	reads     map[sinfonia.Ptr]*readEntry
+	readOrder []*readEntry
+	writes    map[sinfonia.Ptr]*writeEntry
+	wrOrder   []*writeEntry
+
+	// validated is true when the entire read set is known to have been
+	// consistent at the moment of the last minitransaction (piggy-backed
+	// validation, §2.2). A read-only transaction in this state commits
+	// without any further network round trip.
+	validated bool
+	aborted   bool
+
+	// Blocking selects blocking minitransactions for the commit (used by
+	// snapshot creation to update the replicated tip id, §4.1).
+	Blocking bool
+
+	// Stats for the harness.
+	Roundtrips int
+
+	onDiscard []func()
+}
+
+// New begins a dynamic transaction coordinated by client c.
+func New(c *sinfonia.Client) *Txn {
+	return &Txn{
+		c:      c,
+		reads:  make(map[sinfonia.Ptr]*readEntry),
+		writes: make(map[sinfonia.Ptr]*writeEntry),
+	}
+}
+
+// Abort marks the transaction aborted. No locks are held between
+// minitransactions, so there is nothing to release.
+func (t *Txn) Abort() { t.aborted = true }
+
+// OnDiscard registers a callback to run if the transaction's effects are
+// abandoned — the retry-loop owner calls Discard after a failed attempt.
+// Used to return allocator blocks reserved for writes that never committed.
+func (t *Txn) OnDiscard(fn func()) { t.onDiscard = append(t.onDiscard, fn) }
+
+// Discard runs (and clears) the discard callbacks. Call only when the
+// transaction definitively did not commit.
+func (t *Txn) Discard() {
+	for _, fn := range t.onDiscard {
+		fn()
+	}
+	t.onDiscard = nil
+}
+
+// Aborted reports whether the transaction has aborted.
+func (t *Txn) Aborted() bool { return t.aborted }
+
+// ReadSetSize returns the number of objects that commit must validate.
+func (t *Txn) ReadSetSize() int { return len(t.reads) }
+
+// Read performs a transactional read: the object is added to the read set
+// and will be validated at commit. Reads are served from the write set or
+// read-set cache when possible; otherwise a minitransaction fetches the
+// object and piggy-backs validation of any read-set entries that can be
+// compared on the same memnode (replicated entries always can).
+func (t *Txn) Read(ref Ref) (Obj, error) {
+	if t.aborted {
+		return Obj{}, ErrAborted
+	}
+	k := ref.key()
+	if w, ok := t.writes[k]; ok {
+		return Obj{Data: w.data, Version: 0, Exists: true}, nil
+	}
+	if re, ok := t.reads[k]; ok {
+		// Serve from the read set: commit validates the version first
+		// observed, so the transaction must keep acting on that image.
+		return Obj{Data: re.data, Version: re.version, Exists: re.exists}, nil
+	}
+
+	entry := &readEntry{ref: ref, node: ref.Ptr.Node}
+	obj, err := t.fetch(ref, entry)
+	if err != nil {
+		return Obj{}, err
+	}
+	t.reads[k] = entry
+	t.readOrder = append(t.readOrder, entry)
+	return obj, nil
+}
+
+// fetch reads the object via a minitransaction. If entry is non-nil the
+// observed version is recorded into it and validation of the existing read
+// set is piggy-backed where possible.
+func (t *Txn) fetch(ref Ref, entry *readEntry) (Obj, error) {
+	node := ref.Ptr.Node
+	m := &sinfonia.Minitx{
+		Reads: []sinfonia.ReadItem{{Node: node, Addr: ref.Ptr.Addr}},
+	}
+	var piggy []*readEntry
+	allCovered := true
+	if entry != nil {
+		for _, re := range t.readOrder {
+			cn := re.node
+			if re.ref.Replicated {
+				cn = node // validate the local replica: versions are in lockstep
+			}
+			if cn != node {
+				allCovered = false
+				continue // would force a 2-phase commit; let Commit validate it
+			}
+			m.Compares = append(m.Compares, sinfonia.CompareItem{
+				Node: cn, Addr: re.ref.Ptr.Addr,
+				Kind: sinfonia.CompareVersion, Version: re.version,
+			})
+			piggy = append(piggy, re)
+		}
+	}
+
+	res, err := t.c.Exec(m)
+	t.Roundtrips++
+	if err != nil {
+		var cf *sinfonia.CompareFailedError
+		if errors.As(err, &cf) {
+			t.aborted = true
+			se := &StaleError{}
+			for _, i := range cf.Failed {
+				se.Refs = append(se.Refs, piggy[i].ref)
+			}
+			return Obj{}, se
+		}
+		return Obj{}, err
+	}
+	r := res.Reads[0]
+	if entry != nil {
+		entry.version = r.Version
+		entry.data = r.Data
+		entry.exists = r.Exists
+		// The read set was consistent at this instant iff every prior
+		// entry was compared in the same minitransaction.
+		t.validated = allCovered
+	}
+	return Obj{Data: r.Data, Version: r.Version, Exists: r.Exists}, nil
+}
+
+// DirtyRead fetches an object without adding it to the read set (§3). The
+// write set still shadows it so a transaction observes its own writes.
+func (t *Txn) DirtyRead(ref Ref) (Obj, error) {
+	if t.aborted {
+		return Obj{}, ErrAborted
+	}
+	if w, ok := t.writes[ref.key()]; ok {
+		return Obj{Data: w.data, Version: 0, Exists: true}, nil
+	}
+	return t.fetch(ref, nil)
+}
+
+// DirtyReadMany fetches several objects on the same memnode in a single
+// minitransaction, without touching the read set. Used by the legacy
+// traversal mode to fetch a node image together with its replicated
+// sequence-number entry in one round trip.
+func (t *Txn) DirtyReadMany(refs []Ref) ([]Obj, error) {
+	if t.aborted {
+		return nil, ErrAborted
+	}
+	m := &sinfonia.Minitx{}
+	for _, r := range refs {
+		m.Reads = append(m.Reads, sinfonia.ReadItem{Node: r.Ptr.Node, Addr: r.Ptr.Addr})
+	}
+	res, err := t.c.Exec(m)
+	t.Roundtrips++
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Obj, len(refs))
+	for i, r := range res.Reads {
+		out[i] = Obj{Data: r.Data, Version: r.Version, Exists: r.Exists}
+	}
+	return out, nil
+}
+
+// InjectRead adds an entry to the read set from a proxy-side cache without
+// any network traffic — the paper's "adds its cached copy of the tip
+// snapshot ... to the transaction's read set". The commit (or the next
+// piggy-backed read) validates the cached version; if the cache was stale
+// the transaction aborts with a StaleError naming ref.
+func (t *Txn) InjectRead(ref Ref, version uint64, data []byte, exists bool) {
+	if t.aborted {
+		return
+	}
+	k := ref.key()
+	if _, ok := t.reads[k]; ok {
+		return
+	}
+	e := &readEntry{ref: ref, node: ref.Ptr.Node, version: version, data: data, exists: exists}
+	t.reads[k] = e
+	t.readOrder = append(t.readOrder, e)
+	t.validated = false
+}
+
+// Write buffers a blind write: the object is updated at commit without
+// validating a previously observed version. Use it for freshly allocated
+// objects; use WriteValidated for objects observed via a dirty read.
+func (t *Txn) Write(ref Ref, data []byte) {
+	if t.aborted {
+		return
+	}
+	k := ref.key()
+	if w, ok := t.writes[k]; ok {
+		w.data = data
+		return
+	}
+	w := &writeEntry{ref: ref, data: data}
+	t.writes[k] = w
+	t.wrOrder = append(t.wrOrder, w)
+	t.validated = false
+}
+
+// WriteValidated buffers a write to an object that was previously observed
+// (usually via DirtyRead) at the given version. Per the paper, "if the
+// object is written later on, it will first be added to the read set": the
+// commit will validate that the object still has that version.
+func (t *Txn) WriteValidated(ref Ref, data []byte, observedVersion uint64) {
+	if t.aborted {
+		return
+	}
+	k := ref.key()
+	if _, ok := t.reads[k]; !ok {
+		e := &readEntry{ref: ref, node: ref.Ptr.Node, version: observedVersion}
+		t.reads[k] = e
+		t.readOrder = append(t.readOrder, e)
+	}
+	t.Write(ref, data)
+}
+
+// InReadSet reports whether ref is already in the read set.
+func (t *Txn) InReadSet(ref Ref) bool {
+	_, ok := t.reads[ref.key()]
+	return ok
+}
+
+// Commit validates the read set and applies the write set atomically.
+// A read-only transaction whose read set was fully validated by its last
+// (piggy-backed) minitransaction commits locally with no network traffic.
+// Returns *StaleError when validation fails.
+func (t *Txn) Commit() error {
+	if t.aborted {
+		return ErrAborted
+	}
+	t.aborted = true // a txn is single-shot: committed or aborted
+
+	if len(t.writes) == 0 && (t.validated || len(t.reads) == 0) {
+		return nil
+	}
+
+	m := &sinfonia.Minitx{Blocking: t.Blocking}
+
+	// Choose the anchor node for replicated-object compares: a node the
+	// minitransaction must visit anyway, so replication keeps the commit
+	// single-node whenever possible.
+	anchor := t.anchorNode()
+
+	for _, re := range t.readOrder {
+		node := re.node
+		if re.ref.Replicated {
+			node = anchor
+		}
+		m.Compares = append(m.Compares, sinfonia.CompareItem{
+			Node: node, Addr: re.ref.Ptr.Addr,
+			Kind: sinfonia.CompareVersion, Version: re.version,
+		})
+	}
+	for _, w := range t.wrOrder {
+		if w.ref.Replicated {
+			// Replicated objects are written on every memnode, atomically.
+			for _, n := range t.c.Nodes() {
+				m.Writes = append(m.Writes, sinfonia.WriteItem{Node: n, Addr: w.ref.Ptr.Addr, Data: w.data})
+			}
+		} else {
+			m.Writes = append(m.Writes, sinfonia.WriteItem{Node: w.ref.Ptr.Node, Addr: w.ref.Ptr.Addr, Data: w.data})
+		}
+	}
+
+	_, err := t.c.Exec(m)
+	t.Roundtrips++
+	if err != nil {
+		var cf *sinfonia.CompareFailedError
+		if errors.As(err, &cf) {
+			se := &StaleError{}
+			for _, i := range cf.Failed {
+				if i < len(t.readOrder) {
+					se.Refs = append(se.Refs, t.readOrder[i].ref)
+				}
+			}
+			return se
+		}
+		return err
+	}
+	return nil
+}
+
+// anchorNode picks the memnode used to validate replicated objects.
+func (t *Txn) anchorNode() sinfonia.NodeID {
+	for _, w := range t.wrOrder {
+		if !w.ref.Replicated {
+			return w.ref.Ptr.Node
+		}
+	}
+	for _, re := range t.readOrder {
+		if !re.ref.Replicated {
+			return re.node
+		}
+	}
+	// Only replicated objects are involved; any node works. Prefer the
+	// preferred replica of the first access.
+	if len(t.wrOrder) > 0 {
+		return t.wrOrder[0].ref.Ptr.Node
+	}
+	if len(t.readOrder) > 0 {
+		return t.readOrder[0].ref.Ptr.Node
+	}
+	return t.c.Nodes()[0]
+}
+
+// RunOptions tunes the optimistic retry loop.
+type RunOptions struct {
+	MaxAttempts int           // 0 means a generous default
+	BaseBackoff time.Duration // 0 means a small default
+}
+
+// Run executes fn inside a dynamic transaction, retrying on optimistic
+// validation failures (StaleError) and on fence-key aborts signalled by fn
+// returning ErrRetry. fn must be idempotent. The committed transaction's
+// statistics are merged into the returned Stats.
+func Run(c *sinfonia.Client, opts RunOptions, fn func(t *Txn) error) error {
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts == 0 {
+		maxAttempts = 256
+	}
+	backoff := opts.BaseBackoff
+	if backoff == 0 {
+		backoff = 20 * time.Microsecond
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		t := New(c)
+		err := fn(t)
+		if err == nil {
+			err = t.Commit()
+			if err == nil {
+				return nil
+			}
+		}
+		if !IsStale(err) && !errors.Is(err, ErrRetry) && !errors.Is(err, ErrAborted) {
+			return err
+		}
+		lastErr = err
+		sleep := time.Duration(rand.Int63n(int64(backoff))) + backoff/2
+		time.Sleep(sleep)
+		if backoff < time.Millisecond {
+			backoff *= 2
+		}
+	}
+	return fmt.Errorf("dyntx: giving up after %d attempts: %w", maxAttempts, lastErr)
+}
+
+// ErrRetry is returned by transaction bodies that detected an inconsistency
+// (for example, a fence-key violation during a dirty traversal) and want the
+// optimistic retry loop to re-execute them.
+var ErrRetry = errors.New("dyntx: retry requested")

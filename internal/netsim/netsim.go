@@ -1,0 +1,170 @@
+// Package netsim provides the message fabric that connects Minuet proxies to
+// Sinfonia memnodes.
+//
+// The primary implementation, Local, delivers messages by direct function
+// call with an injected one-way latency, emulating a data-center LAN while
+// preserving the protocol's message structure: every RPC costs one
+// round trip, and per-destination message counters let experiments reason
+// about "minitransaction spread" exactly as the paper does. Local also
+// supports fault injection (unreachable nodes) so that recovery paths can be
+// tested.
+//
+// A real TCP transport with the same interface lives in internal/rpcnet.
+package netsim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a message endpoint (memnode or service) in a cluster.
+type NodeID int32
+
+// Handler processes a single RPC request and returns a response. Handlers
+// must be safe for concurrent use.
+type Handler interface {
+	HandleRPC(req any) (any, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(req any) (any, error)
+
+// HandleRPC calls f(req).
+func (f HandlerFunc) HandleRPC(req any) (any, error) { return f(req) }
+
+// Transport delivers RPCs to nodes. Implementations must be safe for
+// concurrent use.
+type Transport interface {
+	// Call sends req to the node and waits for its response.
+	Call(to NodeID, req any) (any, error)
+}
+
+// ErrUnreachable is returned when the destination node is down or unknown.
+var ErrUnreachable = errors.New("netsim: node unreachable")
+
+// Stats holds transport-level message counters.
+type Stats struct {
+	Calls   int64 // total RPCs issued
+	Errors  int64 // RPCs that failed at the transport level
+	PerNode map[NodeID]int64
+}
+
+// Local is an in-process Transport with injected latency and fault
+// injection. The zero value is not usable; construct with NewLocal.
+type Local struct {
+	oneWay atomic.Int64 // nanoseconds of one-way latency
+
+	mu       sync.RWMutex
+	handlers map[NodeID]Handler
+	down     map[NodeID]bool
+
+	calls   atomic.Int64
+	errs    atomic.Int64
+	perNode sync.Map // NodeID -> *atomic.Int64
+}
+
+// NewLocal returns a Local transport with the given one-way latency.
+// A latency of zero disables sleeping entirely (useful in unit tests).
+func NewLocal(oneWayLatency time.Duration) *Local {
+	l := &Local{
+		handlers: make(map[NodeID]Handler),
+		down:     make(map[NodeID]bool),
+	}
+	l.oneWay.Store(int64(oneWayLatency))
+	return l
+}
+
+// Bind registers (or replaces) the handler for a node. Rebinding is how a
+// promoted backup takes over a failed memnode's identity.
+func (l *Local) Bind(id NodeID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.handlers[id] = h
+}
+
+// SetDown marks a node unreachable (true) or reachable (false).
+func (l *Local) SetDown(id NodeID, down bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.down[id] = down
+}
+
+// SetLatency changes the injected one-way latency.
+func (l *Local) SetLatency(oneWay time.Duration) { l.oneWay.Store(int64(oneWay)) }
+
+// Latency returns the current one-way latency.
+func (l *Local) Latency() time.Duration { return time.Duration(l.oneWay.Load()) }
+
+// Call implements Transport. The one-way latency is charged before the
+// handler runs (request propagation) and again after it returns (response
+// propagation), so lock-hold windows inside 2-phase commits span a realistic
+// number of network delays.
+func (l *Local) Call(to NodeID, req any) (any, error) {
+	l.calls.Add(1)
+	c, _ := l.perNode.LoadOrStore(to, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+
+	l.mu.RLock()
+	h := l.handlers[to]
+	isDown := l.down[to]
+	l.mu.RUnlock()
+	if h == nil || isDown {
+		l.errs.Add(1)
+		return nil, fmt.Errorf("%w: node %d", ErrUnreachable, to)
+	}
+
+	Delay(time.Duration(l.oneWay.Load()))
+	resp, err := h.HandleRPC(req)
+	Delay(time.Duration(l.oneWay.Load()))
+	if err != nil {
+		l.errs.Add(1)
+	}
+	return resp, err
+}
+
+// Delay blocks for d with microsecond-level accuracy. Plain time.Sleep
+// rounds short sleeps up to OS timer resolution when the runtime is
+// otherwise idle (~1 ms), which would make lightly-loaded configurations
+// look *slower* than loaded ones and distort every latency comparison the
+// benchmarks make. Delay sleeps for the bulk of d and spins (yielding) for
+// the tail.
+func Delay(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t0 := time.Now()
+	if d > 100*time.Microsecond {
+		time.Sleep(d - 50*time.Microsecond)
+	}
+	for time.Since(t0) < d {
+		runtime.Gosched()
+	}
+}
+
+// Stats returns a snapshot of the transport counters.
+func (l *Local) Stats() Stats {
+	s := Stats{
+		Calls:   l.calls.Load(),
+		Errors:  l.errs.Load(),
+		PerNode: make(map[NodeID]int64),
+	}
+	l.perNode.Range(func(k, v any) bool {
+		s.PerNode[k.(NodeID)] = v.(*atomic.Int64).Load()
+		return true
+	})
+	return s
+}
+
+// ResetStats zeroes all counters.
+func (l *Local) ResetStats() {
+	l.calls.Store(0)
+	l.errs.Store(0)
+	l.perNode.Range(func(k, _ any) bool {
+		l.perNode.Delete(k)
+		return true
+	})
+}

@@ -1,0 +1,325 @@
+package sinfonia
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"minuet/internal/netsim"
+)
+
+// Client is the Sinfonia application library linked into each proxy. It
+// coordinates minitransactions: grouping items by memnode, running the
+// two-phase protocol (collapsed to one phase for a single memnode),
+// retrying busy-lock aborts transparently, and surfacing comparison
+// failures to the application.
+type Client struct {
+	t     netsim.Transport
+	nodes []NodeID
+
+	// BlockWait bounds how long a blocking minitransaction may wait at a
+	// memnode for busy locks before aborting like an ordinary one (§4.1:
+	// "bounded by a threshold small enough so that blocking
+	// minitransactions do not trigger Sinfonia's recovery mechanism").
+	BlockWait time.Duration
+
+	// MaxBusyRetries bounds transparent retries of busy aborts.
+	MaxBusyRetries int
+
+	txid atomic.Uint64
+}
+
+var clientSeq atomic.Uint64
+
+// NewClient returns a Client over transport t. nodes lists every memnode in
+// the cluster (needed by callers that write replicated objects to all
+// memnodes).
+func NewClient(t netsim.Transport, nodes []NodeID) *Client {
+	c := &Client{
+		t:              t,
+		nodes:          append([]NodeID(nil), nodes...),
+		BlockWait:      10 * time.Millisecond,
+		MaxBusyRetries: 4096,
+	}
+	// Partition the txid space between clients so ids never collide.
+	c.txid.Store(clientSeq.Add(1) << 40)
+	return c
+}
+
+// Nodes returns the memnode ids this client knows about.
+func (c *Client) Nodes() []NodeID { return c.nodes }
+
+// Transport returns the underlying transport.
+func (c *Client) Transport() netsim.Transport { return c.t }
+
+// nextTxid returns a fresh minitransaction id.
+func (c *Client) nextTxid() uint64 { return c.txid.Add(1) }
+
+// perNode is a minitransaction's slice of items for one memnode, remembering
+// the positions of items in the original request so results and failure
+// indices can be mapped back.
+type perNode struct {
+	node    NodeID
+	cmp     []CompareItem
+	cmpIdx  []int
+	rd      []ReadItem
+	rdIdx   []int
+	wr      []WriteItem
+	prepped bool
+}
+
+func groupByNode(m *Minitx) []*perNode {
+	byNode := make(map[NodeID]*perNode)
+	order := make([]*perNode, 0, 2)
+	get := func(n NodeID) *perNode {
+		if g, ok := byNode[n]; ok {
+			return g
+		}
+		g := &perNode{node: n}
+		byNode[n] = g
+		order = append(order, g)
+		return g
+	}
+	for i, it := range m.Compares {
+		g := get(it.Node)
+		g.cmp = append(g.cmp, it)
+		g.cmpIdx = append(g.cmpIdx, i)
+	}
+	for i, it := range m.Reads {
+		g := get(it.Node)
+		g.rd = append(g.rd, it)
+		g.rdIdx = append(g.rdIdx, i)
+	}
+	for _, it := range m.Writes {
+		g := get(it.Node)
+		g.wr = append(g.wr, it)
+	}
+	return order
+}
+
+// Exec executes a minitransaction and returns its reads. Busy-lock aborts
+// are retried transparently with randomized backoff. A comparison failure
+// aborts the minitransaction and returns *CompareFailedError.
+func (c *Client) Exec(m *Minitx) (*Result, error) {
+	groups := groupByNode(m)
+	if len(groups) == 0 {
+		return &Result{Reads: make([]ReadResult, 0)}, nil
+	}
+
+	backoff := 20 * time.Microsecond
+	for attempt := 0; ; attempt++ {
+		res, busy, err := c.execOnce(m, groups)
+		if err != nil || !busy {
+			return res, err
+		}
+		if attempt >= c.MaxBusyRetries {
+			return nil, ErrTooBusy
+		}
+		// Randomized exponential backoff keeps colliding proxies from
+		// re-executing in lockstep.
+		time.Sleep(time.Duration(rand.Int63n(int64(backoff))) + backoff/2)
+		if backoff < 2*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// execOnce runs a single attempt. It returns busy=true when the attempt
+// aborted due to a busy lock and should be retried.
+func (c *Client) execOnce(m *Minitx, groups []*perNode) (res *Result, busy bool, err error) {
+	txid := c.nextTxid()
+
+	if len(groups) == 1 {
+		// One memnode: the two-phase protocol collapses to a single
+		// ExecCommit round trip.
+		g := groups[0]
+		resp, err := c.call(g.node, &ExecCommitReq{
+			Txid: txid, Compares: g.cmp, Reads: g.rd, Writes: g.wr,
+			Blocking: m.Blocking, WaitNanos: int64(c.BlockWait),
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		return c.finish(m, groups, []*ExecResp{resp})
+	}
+
+	// Phase one: prepare at every participant in parallel. Each prepare
+	// carries the full participant list for coordinator recovery.
+	participants := make([]NodeID, len(groups))
+	for i, g := range groups {
+		participants[i] = g.node
+	}
+	resps := make([]*ExecResp, len(groups))
+	errs := make([]error, len(groups))
+	var wg sync.WaitGroup
+	for i, g := range groups {
+		wg.Add(1)
+		go func(i int, g *perNode) {
+			defer wg.Done()
+			resps[i], errs[i] = c.callPrepare(g, txid, m.Blocking, participants)
+		}(i, g)
+	}
+	wg.Wait()
+
+	allOK := true
+	for i, g := range groups {
+		g.prepped = errs[i] == nil && resps[i].Vote == voteOK
+		if !g.prepped {
+			allOK = false
+		}
+	}
+
+	if !allOK {
+		// Phase two: abort everything that prepared.
+		c.finishPhase(groups, txid, false)
+		for i := range groups {
+			if errs[i] != nil {
+				return nil, false, errs[i]
+			}
+		}
+		return c.finish(m, groups, resps)
+	}
+
+	// Phase two: commit everywhere.
+	if err := c.finishPhase(groups, txid, true); err != nil {
+		return nil, false, err
+	}
+	return c.finish(m, groups, resps)
+}
+
+func (c *Client) callPrepare(g *perNode, txid uint64, blocking bool, participants []NodeID) (*ExecResp, error) {
+	return c.call(g.node, &PrepareReq{
+		Txid: txid, Compares: g.cmp, Reads: g.rd, Writes: g.wr,
+		Blocking: blocking, WaitNanos: int64(c.BlockWait),
+		Participants: participants,
+	})
+}
+
+// finishPhase sends commit (ok=true) or abort to all prepared participants
+// in parallel. Commit failures are retried a few times: a memnode that
+// crashed between phases is expected to be re-bound to its promoted backup.
+func (c *Client) finishPhase(groups []*perNode, txid uint64, ok bool) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(groups))
+	for i, g := range groups {
+		if !g.prepped {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, g *perNode) {
+			defer wg.Done()
+			var req any
+			if ok {
+				req = &CommitReq{Txid: txid}
+			} else {
+				req = &AbortReq{Txid: txid}
+			}
+			var err error
+			for try := 0; try < 3; try++ {
+				if _, err = c.t.Call(g.node, req); err == nil {
+					return
+				}
+				time.Sleep(time.Duration(try+1) * time.Millisecond)
+			}
+			errs[i] = err
+		}(i, g)
+	}
+	wg.Wait()
+	if ok {
+		for _, err := range errs {
+			if err != nil {
+				return fmt.Errorf("sinfonia: commit phase failed: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// finish converts per-node responses into the caller's Result, mapping
+// failed-comparison indices and read results back to request order.
+func (c *Client) finish(m *Minitx, groups []*perNode, resps []*ExecResp) (*Result, bool, error) {
+	var failed []int
+	for i, g := range groups {
+		r := resps[i]
+		if r == nil {
+			continue
+		}
+		switch r.Vote {
+		case voteBusy:
+			return nil, true, nil
+		case voteCompareFail:
+			for _, li := range r.Failed {
+				failed = append(failed, g.cmpIdx[li])
+			}
+		}
+	}
+	if len(failed) > 0 {
+		return nil, false, &CompareFailedError{Failed: failed}
+	}
+	res := &Result{Reads: make([]ReadResult, len(m.Reads))}
+	for i, g := range groups {
+		r := resps[i]
+		for li, gi := range g.rdIdx {
+			if li < len(r.Reads) {
+				res.Reads[gi] = r.Reads[li]
+			}
+		}
+	}
+	return res, false, nil
+}
+
+func (c *Client) call(node NodeID, req any) (*ExecResp, error) {
+	resp, err := c.t.Call(node, req)
+	if err != nil {
+		return nil, err
+	}
+	er, ok := resp.(*ExecResp)
+	if !ok {
+		return nil, fmt.Errorf("sinfonia: unexpected response %T from node %d", resp, node)
+	}
+	return er, nil
+}
+
+// Read is a convenience wrapper: a minitransaction containing a single read.
+func (c *Client) Read(p Ptr) (ReadResult, error) {
+	res, err := c.Exec(&Minitx{Reads: []ReadItem{{Node: p.Node, Addr: p.Addr}}})
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return res.Reads[0], nil
+}
+
+// Write is a convenience wrapper: a minitransaction containing a single
+// unconditional write.
+func (c *Client) Write(p Ptr, data []byte) error {
+	_, err := c.Exec(&Minitx{Writes: []WriteItem{{Node: p.Node, Addr: p.Addr, Data: data}}})
+	return err
+}
+
+// Scan enumerates items on one memnode; see ScanReq.
+func (c *Client) Scan(node NodeID, min, max Addr, prefixLen int) ([]ItemInfo, error) {
+	resp, err := c.t.Call(node, &ScanReq{MinAddr: min, MaxAddr: max, PrefixLen: prefixLen})
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := resp.(*ScanResp)
+	if !ok {
+		return nil, fmt.Errorf("sinfonia: unexpected response %T from node %d", resp, node)
+	}
+	return sr.Items, nil
+}
+
+// Stats fetches a memnode's counters.
+func (c *Client) Stats(node NodeID) (*StatsResp, error) {
+	resp, err := c.t.Call(node, &StatsReq{})
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := resp.(*StatsResp)
+	if !ok {
+		return nil, fmt.Errorf("sinfonia: unexpected response %T from node %d", resp, node)
+	}
+	return sr, nil
+}

@@ -1,0 +1,522 @@
+package sinfonia
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"minuet/internal/netsim"
+)
+
+// Memnode is a Sinfonia storage node: an in-memory, byte-addressable item
+// store with two-phase locking scoped to minitransaction execution. It
+// implements netsim.Handler so it can be bound to either the in-process
+// transport or the TCP transport.
+//
+// Concurrency model: a single mutex guards the item and lock tables. The
+// paper's deployment dedicates two cores per memnode; handler critical
+// sections here are microseconds long, so a single lock matches that
+// capacity while keeping the locking protocol easy to verify. Cross-phase
+// (prepare→commit) locks are represented in the locked table rather than by
+// holding the mutex.
+type Memnode struct {
+	id NodeID
+
+	mu       sync.Mutex
+	items    map[Addr]*item
+	locked   map[Addr]uint64    // addr -> txid that holds the prepare lock
+	staged   map[uint64]*staged // txid -> staged writes
+	outcomes *outcomeLog        // resolved distributed txns (recovery fencing)
+
+	// Replication. When backup is set, every committed batch of writes is
+	// forwarded (in commit order) to the backup memnode.
+	transport netsim.Transport
+	backup    NodeID
+	hasBackup bool
+	repSeq    uint64
+
+	// replicas holds mirrored state for primaries this node backs up,
+	// keyed by primary node id.
+	replicas map[NodeID]*replicaStore
+
+	commits    int64
+	aborts     int64
+	busyAborts int64
+}
+
+type item struct {
+	data    []byte
+	version uint64
+}
+
+type staged struct {
+	writes       []WriteItem
+	addrs        []Addr // all addresses locked by this txn on this node
+	participants []NodeID
+	preparedAt   time.Time
+}
+
+// outcomeLog remembers recently resolved distributed transactions so a
+// slow coordinator's late phase-two message cannot contradict a decision
+// the recovery coordinator already made. Bounded FIFO.
+type outcomeLog struct {
+	m     map[uint64]uint8
+	order []uint64
+	cap   int
+}
+
+func newOutcomeLog(capacity int) *outcomeLog {
+	return &outcomeLog{m: make(map[uint64]uint8), cap: capacity}
+}
+
+func (o *outcomeLog) record(txid uint64, status uint8) {
+	if _, ok := o.m[txid]; !ok {
+		o.order = append(o.order, txid)
+		if len(o.order) > o.cap {
+			delete(o.m, o.order[0])
+			o.order = o.order[1:]
+		}
+	}
+	o.m[txid] = status
+}
+
+func (o *outcomeLog) get(txid uint64) (uint8, bool) {
+	s, ok := o.m[txid]
+	return s, ok
+}
+
+type replicaStore struct {
+	nextSeq uint64
+	pending map[uint64]*ReplicaApplyReq
+	items   map[Addr]*item
+}
+
+// NewMemnode creates a memnode with the given identity.
+func NewMemnode(id NodeID) *Memnode {
+	return &Memnode{
+		id:       id,
+		items:    make(map[Addr]*item),
+		locked:   make(map[Addr]uint64),
+		staged:   make(map[uint64]*staged),
+		outcomes: newOutcomeLog(8192),
+		replicas: make(map[NodeID]*replicaStore),
+	}
+}
+
+// ID returns the memnode's identity.
+func (m *Memnode) ID() NodeID { return m.id }
+
+// SetBackup configures synchronous primary-backup replication: every
+// committed write batch is forwarded to node `backup` over t.
+func (m *Memnode) SetBackup(t netsim.Transport, backup NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.transport = t
+	m.backup = backup
+	m.hasBackup = true
+}
+
+// HandleRPC implements netsim.Handler.
+func (m *Memnode) HandleRPC(req any) (any, error) {
+	switch r := req.(type) {
+	case *ExecCommitReq:
+		return m.execCommit(r), nil
+	case *PrepareReq:
+		return m.prepare(r), nil
+	case *CommitReq:
+		m.commit(r.Txid)
+		return &Ack{}, nil
+	case *AbortReq:
+		m.abort(r.Txid)
+		return &Ack{}, nil
+	case *ReplicaApplyReq:
+		m.replicaApply(r)
+		return &Ack{}, nil
+	case *ScanReq:
+		return m.scan(r), nil
+	case *SnapshotStateReq:
+		return m.snapshotState(), nil
+	case *StatsReq:
+		return m.stats(), nil
+	case *InDoubtReq:
+		return m.inDoubt(r), nil
+	case *TxnStatusReq:
+		return m.txnStatus(r), nil
+	default:
+		return nil, fmt.Errorf("memnode %d: unknown request %T", m.id, req)
+	}
+}
+
+// touchedAddrs returns the deduplicated set of addresses a minitransaction
+// touches on this node.
+func touchedAddrs(cmp []CompareItem, rd []ReadItem, wr []WriteItem) []Addr {
+	seen := make(map[Addr]struct{}, len(cmp)+len(rd)+len(wr))
+	out := make([]Addr, 0, len(cmp)+len(rd)+len(wr))
+	add := func(a Addr) {
+		if _, ok := seen[a]; !ok {
+			seen[a] = struct{}{}
+			out = append(out, a)
+		}
+	}
+	for i := range cmp {
+		add(cmp[i].Addr)
+	}
+	for i := range rd {
+		add(rd[i].Addr)
+	}
+	for i := range wr {
+		add(wr[i].Addr)
+	}
+	return out
+}
+
+// waitUnlocked blocks until none of addrs is locked by another transaction,
+// or the deadline passes. It must be called with m.mu held; it releases and
+// reacquires the mutex while polling. Returns false on timeout.
+//
+// Blocking minitransactions are used only for rare, contention-prone updates
+// (the replicated tip snapshot id, §4.1), so a short poll interval costs
+// nothing measurable while keeping the lock manager free of wait queues.
+func (m *Memnode) waitUnlocked(addrs []Addr, txid uint64, deadline time.Time) bool {
+	const pollEvery = 50 * time.Microsecond
+	for {
+		if !m.anyLocked(addrs, txid) {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		m.mu.Unlock()
+		time.Sleep(pollEvery)
+		m.mu.Lock()
+	}
+}
+
+// anyLocked reports whether any of addrs is locked by a different txn.
+// Caller must hold m.mu.
+func (m *Memnode) anyLocked(addrs []Addr, txid uint64) bool {
+	for _, a := range addrs {
+		if holder, ok := m.locked[a]; ok && holder != txid {
+			return true
+		}
+	}
+	return false
+}
+
+// evalCompares returns the indices of failed comparisons. Caller holds m.mu.
+func (m *Memnode) evalCompares(cmp []CompareItem) []int {
+	var failed []int
+	for i := range cmp {
+		it := m.items[cmp[i].Addr]
+		switch cmp[i].Kind {
+		case CompareVersion:
+			var v uint64
+			if it != nil {
+				v = it.version
+			}
+			if v != cmp[i].Version {
+				failed = append(failed, i)
+			}
+		case CompareBytes:
+			var data []byte
+			if it != nil {
+				data = it.data
+			}
+			if !bytes.Equal(data, cmp[i].Data) {
+				failed = append(failed, i)
+			}
+		default:
+			failed = append(failed, i)
+		}
+	}
+	return failed
+}
+
+// doReads executes read items. Caller holds m.mu.
+func (m *Memnode) doReads(rd []ReadItem) []ReadResult {
+	out := make([]ReadResult, len(rd))
+	for i := range rd {
+		if it, ok := m.items[rd[i].Addr]; ok {
+			d := make([]byte, len(it.data))
+			copy(d, it.data)
+			out[i] = ReadResult{Data: d, Version: it.version, Exists: true}
+		}
+	}
+	return out
+}
+
+// applyWrites applies write items and returns the replica batch. Caller
+// holds m.mu.
+func (m *Memnode) applyWrites(wr []WriteItem) *ReplicaApplyReq {
+	if len(wr) == 0 {
+		return nil
+	}
+	var rep *ReplicaApplyReq
+	if m.hasBackup {
+		m.repSeq++
+		rep = &ReplicaApplyReq{From: m.id, Seq: m.repSeq}
+	}
+	for i := range wr {
+		it := m.items[wr[i].Addr]
+		if it == nil {
+			it = &item{}
+			m.items[wr[i].Addr] = it
+		}
+		it.data = make([]byte, len(wr[i].Data))
+		copy(it.data, wr[i].Data)
+		it.version++
+		if rep != nil {
+			rep.Addrs = append(rep.Addrs, wr[i].Addr)
+			rep.Data = append(rep.Data, it.data)
+			rep.Versions = append(rep.Versions, it.version)
+		}
+	}
+	m.commits++
+	return rep
+}
+
+// forwardToBackup sends a committed batch to the backup synchronously. The
+// mutex must NOT be held: replica applies are ordered by Seq, so concurrent
+// sends cannot reorder state at the backup.
+func (m *Memnode) forwardToBackup(rep *ReplicaApplyReq) {
+	if rep == nil || !m.hasBackup {
+		return
+	}
+	// A failed backup is tolerated: the paper's Sinfonia masks backup
+	// failures and re-synchronizes on recovery. The simulation simply
+	// drops the apply; tests that exercise promotion keep the backup up.
+	_, _ = m.transport.Call(m.backup, rep)
+}
+
+func (m *Memnode) execCommit(r *ExecCommitReq) *ExecResp {
+	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
+
+	m.mu.Lock()
+	if r.Blocking {
+		deadline := time.Now().Add(time.Duration(r.WaitNanos))
+		if !m.waitUnlocked(addrs, r.Txid, deadline) {
+			m.busyAborts++
+			m.mu.Unlock()
+			return &ExecResp{Vote: voteBusy}
+		}
+	} else if m.anyLocked(addrs, r.Txid) {
+		m.busyAborts++
+		m.mu.Unlock()
+		return &ExecResp{Vote: voteBusy}
+	}
+	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
+		m.aborts++
+		m.mu.Unlock()
+		return &ExecResp{Vote: voteCompareFail, Failed: failed}
+	}
+	reads := m.doReads(r.Reads)
+	rep := m.applyWrites(r.Writes)
+	m.mu.Unlock()
+
+	m.forwardToBackup(rep)
+	return &ExecResp{Vote: voteOK, Reads: reads}
+}
+
+func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
+	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	if r.Blocking {
+		deadline := time.Now().Add(time.Duration(r.WaitNanos))
+		if !m.waitUnlocked(addrs, r.Txid, deadline) {
+			m.busyAborts++
+			return &ExecResp{Vote: voteBusy}
+		}
+	} else if m.anyLocked(addrs, r.Txid) {
+		m.busyAborts++
+		return &ExecResp{Vote: voteBusy}
+	}
+	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
+		m.aborts++
+		return &ExecResp{Vote: voteCompareFail, Failed: failed}
+	}
+	reads := m.doReads(r.Reads)
+	for _, a := range addrs {
+		m.locked[a] = r.Txid
+	}
+	m.staged[r.Txid] = &staged{
+		writes:       r.Writes,
+		addrs:        addrs,
+		participants: r.Participants,
+		preparedAt:   time.Now(),
+	}
+	return &ExecResp{Vote: voteOK, Reads: reads}
+}
+
+func (m *Memnode) commit(txid uint64) {
+	m.mu.Lock()
+	if status, resolved := m.outcomes.get(txid); resolved && status == TxnAborted {
+		// The recovery coordinator already aborted this transaction; a
+		// late commit from a slow coordinator must be refused.
+		m.mu.Unlock()
+		return
+	}
+	st, ok := m.staged[txid]
+	var rep *ReplicaApplyReq
+	if ok {
+		rep = m.applyWrites(st.writes)
+		m.release(txid, st)
+		m.outcomes.record(txid, TxnCommitted)
+	}
+	m.mu.Unlock()
+	m.forwardToBackup(rep)
+}
+
+func (m *Memnode) abort(txid uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if status, resolved := m.outcomes.get(txid); resolved && status == TxnCommitted {
+		// Already committed (possibly by recovery); a late abort must not
+		// undo it — and cannot, since the staging entry is gone.
+		return
+	}
+	if st, ok := m.staged[txid]; ok {
+		m.aborts++
+		m.release(txid, st)
+	}
+	// Record the abort even when nothing is staged so that a late commit
+	// arriving after this abort is fenced out.
+	m.outcomes.record(txid, TxnAborted)
+}
+
+// inDoubt lists staged distributed transactions older than the requested
+// age — candidates for coordinator recovery.
+func (m *Memnode) inDoubt(r *InDoubtReq) *InDoubtResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &InDoubtResp{}
+	for txid, st := range m.staged {
+		age := time.Since(st.preparedAt)
+		if age < time.Duration(r.MinAgeNanos) {
+			continue
+		}
+		resp.Txns = append(resp.Txns, InDoubtInfo{
+			Txid:         txid,
+			Participants: append([]NodeID(nil), st.participants...),
+			AgeNanos:     int64(age),
+		})
+	}
+	return resp
+}
+
+// txnStatus reports this memnode's knowledge of a transaction.
+func (m *Memnode) txnStatus(r *TxnStatusReq) *TxnStatusResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if status, ok := m.outcomes.get(r.Txid); ok {
+		return &TxnStatusResp{Status: status}
+	}
+	if _, ok := m.staged[r.Txid]; ok {
+		return &TxnStatusResp{Status: TxnPrepared}
+	}
+	return &TxnStatusResp{Status: TxnUnknown}
+}
+
+// release drops txid's locks and staging entry. Caller holds m.mu.
+func (m *Memnode) release(txid uint64, st *staged) {
+	for _, a := range st.addrs {
+		if m.locked[a] == txid {
+			delete(m.locked, a)
+		}
+	}
+	delete(m.staged, txid)
+}
+
+func (m *Memnode) replicaApply(r *ReplicaApplyReq) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.replicas[r.From]
+	if rs == nil {
+		rs = &replicaStore{nextSeq: 1, pending: make(map[uint64]*ReplicaApplyReq), items: make(map[Addr]*item)}
+		m.replicas[r.From] = rs
+	}
+	rs.pending[r.Seq] = r
+	// Apply all contiguous batches in order.
+	for {
+		b, ok := rs.pending[rs.nextSeq]
+		if !ok {
+			return
+		}
+		delete(rs.pending, rs.nextSeq)
+		rs.nextSeq++
+		for i := range b.Addrs {
+			d := make([]byte, len(b.Data[i]))
+			copy(d, b.Data[i])
+			rs.items[b.Addrs[i]] = &item{data: d, version: b.Versions[i]}
+		}
+	}
+}
+
+// PromoteReplica returns a new Memnode seeded with the mirrored state of the
+// given failed primary. Bind the returned node to the primary's NodeID to
+// complete fail-over.
+func (m *Memnode) PromoteReplica(primary NodeID) *Memnode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	nm := NewMemnode(primary)
+	if rs, ok := m.replicas[primary]; ok {
+		for a, it := range rs.items {
+			d := make([]byte, len(it.data))
+			copy(d, it.data)
+			nm.items[a] = &item{data: d, version: it.version}
+		}
+	}
+	return nm
+}
+
+func (m *Memnode) scan(r *ScanReq) *ScanResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &ScanResp{}
+	for a, it := range m.items {
+		if a < r.MinAddr || a >= r.MaxAddr {
+			continue
+		}
+		n := r.PrefixLen
+		if n > len(it.data) {
+			n = len(it.data)
+		}
+		p := make([]byte, n)
+		copy(p, it.data)
+		resp.Items = append(resp.Items, ItemInfo{Addr: a, Version: it.version, Prefix: p})
+	}
+	return resp
+}
+
+func (m *Memnode) snapshotState() *SnapshotStateResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	resp := &SnapshotStateResp{}
+	for a, it := range m.items {
+		d := make([]byte, len(it.data))
+		copy(d, it.data)
+		resp.Addrs = append(resp.Addrs, a)
+		resp.Data = append(resp.Data, d)
+		resp.Versions = append(resp.Versions, it.version)
+	}
+	return resp
+}
+
+func (m *Memnode) stats() *StatsResp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var b int64
+	for _, it := range m.items {
+		b += int64(len(it.data))
+	}
+	return &StatsResp{
+		Items:      len(m.items),
+		Commits:    m.commits,
+		Aborts:     m.aborts,
+		BusyAborts: m.busyAborts,
+		Bytes:      b,
+	}
+}

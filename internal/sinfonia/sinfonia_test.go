@@ -1,0 +1,386 @@
+package sinfonia
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"minuet/internal/netsim"
+)
+
+// newCluster builds n memnodes bound to a zero-latency local transport.
+func newCluster(n int) (*netsim.Local, *Client, []*Memnode) {
+	tr := netsim.NewLocal(0)
+	nodes := make([]NodeID, n)
+	mns := make([]*Memnode, n)
+	for i := 0; i < n; i++ {
+		id := NodeID(i)
+		nodes[i] = id
+		mns[i] = NewMemnode(id)
+		tr.Bind(id, mns[i])
+	}
+	return tr, NewClient(tr, nodes), mns
+}
+
+func TestSingleNodeWriteRead(t *testing.T) {
+	_, c, _ := newCluster(1)
+	p := Ptr{Node: 0, Addr: 100}
+	if err := c.Write(p, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Read(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exists || string(r.Data) != "hello" || r.Version != 1 {
+		t.Fatalf("got %+v", r)
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	_, c, _ := newCluster(1)
+	r, err := c.Read(Ptr{Node: 0, Addr: 12345})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exists || r.Version != 0 || r.Data != nil {
+		t.Fatalf("missing item should be zero-valued, got %+v", r)
+	}
+}
+
+func TestVersionIncrementsPerWrite(t *testing.T) {
+	_, c, _ := newCluster(1)
+	p := Ptr{Node: 0, Addr: 8}
+	for i := 1; i <= 5; i++ {
+		if err := c.Write(p, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		r, _ := c.Read(p)
+		if r.Version != uint64(i) {
+			t.Fatalf("after %d writes version=%d", i, r.Version)
+		}
+	}
+}
+
+func TestCompareVersionGatesWrite(t *testing.T) {
+	_, c, _ := newCluster(1)
+	p := Ptr{Node: 0, Addr: 64}
+	if err := c.Write(p, []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	// Correct version: write applies.
+	_, err := c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 0, Addr: 64, Kind: CompareVersion, Version: 1}},
+		Writes:   []WriteItem{{Node: 0, Addr: 64, Data: []byte("v2")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stale version: comparison fails, write must not apply.
+	_, err = c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 0, Addr: 64, Kind: CompareVersion, Version: 1}},
+		Writes:   []WriteItem{{Node: 0, Addr: 64, Data: []byte("v3")}},
+	})
+	var cf *CompareFailedError
+	if !errors.As(err, &cf) || len(cf.Failed) != 1 || cf.Failed[0] != 0 {
+		t.Fatalf("want CompareFailedError on index 0, got %v", err)
+	}
+	r, _ := c.Read(p)
+	if string(r.Data) != "v2" {
+		t.Fatalf("failed mtx must not write; data=%q", r.Data)
+	}
+}
+
+func TestCompareBytes(t *testing.T) {
+	_, c, _ := newCluster(1)
+	p := Ptr{Node: 0, Addr: 64}
+	if err := c.Write(p, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 0, Addr: 64, Kind: CompareBytes, Data: []byte("abc")}},
+		Writes:   []WriteItem{{Node: 0, Addr: 64, Data: []byte("def")}},
+	})
+	if err != nil {
+		t.Fatalf("byte compare should pass: %v", err)
+	}
+	_, err = c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 0, Addr: 64, Kind: CompareBytes, Data: []byte("abc")}},
+	})
+	if !IsCompareFailed(err) {
+		t.Fatalf("want compare failure, got %v", err)
+	}
+}
+
+func TestMissingItemComparesAsVersionZero(t *testing.T) {
+	_, c, _ := newCluster(1)
+	_, err := c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 0, Addr: 999, Kind: CompareVersion, Version: 0}},
+		Writes:   []WriteItem{{Node: 0, Addr: 999, Data: []byte("x")}},
+	})
+	if err != nil {
+		t.Fatalf("version-0 compare of missing item should pass: %v", err)
+	}
+}
+
+func TestMultiNodeAtomicity(t *testing.T) {
+	_, c, _ := newCluster(3)
+	// Writes on three nodes, gated by a comparison that fails on node 2.
+	if err := c.Write(Ptr{Node: 2, Addr: 50}, []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 2, Addr: 50, Kind: CompareVersion, Version: 7}},
+		Writes: []WriteItem{
+			{Node: 0, Addr: 10, Data: []byte("a")},
+			{Node: 1, Addr: 10, Data: []byte("b")},
+			{Node: 2, Addr: 10, Data: []byte("c")},
+		},
+	})
+	if !IsCompareFailed(err) {
+		t.Fatalf("want compare failure, got %v", err)
+	}
+	for n := NodeID(0); n < 3; n++ {
+		r, _ := c.Read(Ptr{Node: n, Addr: 10})
+		if r.Exists {
+			t.Fatalf("node %d: aborted 2PC leaked a write", n)
+		}
+	}
+	// And with a passing comparison, all three apply.
+	_, err = c.Exec(&Minitx{
+		Compares: []CompareItem{{Node: 2, Addr: 50, Kind: CompareVersion, Version: 1}},
+		Writes: []WriteItem{
+			{Node: 0, Addr: 10, Data: []byte("a")},
+			{Node: 1, Addr: 10, Data: []byte("b")},
+			{Node: 2, Addr: 10, Data: []byte("c")},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := NodeID(0); n < 3; n++ {
+		r, _ := c.Read(Ptr{Node: n, Addr: 10})
+		if !r.Exists {
+			t.Fatalf("node %d: committed 2PC lost a write", n)
+		}
+	}
+}
+
+func TestMultiNodeReads(t *testing.T) {
+	_, c, _ := newCluster(2)
+	if err := c.Write(Ptr{Node: 0, Addr: 8}, []byte("zero")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(Ptr{Node: 1, Addr: 8}, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Exec(&Minitx{Reads: []ReadItem{
+		{Node: 1, Addr: 8},
+		{Node: 0, Addr: 8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res.Reads[0].Data) != "one" || string(res.Reads[1].Data) != "zero" {
+		t.Fatalf("reads out of order: %q %q", res.Reads[0].Data, res.Reads[1].Data)
+	}
+}
+
+func TestBusyRetryTransparent(t *testing.T) {
+	tr, c, mns := newCluster(2)
+	_ = tr
+	// Manually prepare a transaction on node 0 to hold a lock, then issue a
+	// conflicting single-node exec: it must block-retry until the lock is
+	// released by commit.
+	resp, err := mns[0].HandleRPC(&PrepareReq{
+		Txid:   999,
+		Writes: []WriteItem{{Node: 0, Addr: 77, Data: []byte("locked")}},
+	})
+	if err != nil || resp.(*ExecResp).Vote != voteOK {
+		t.Fatalf("prepare failed: %v %+v", err, resp)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		err := c.Write(Ptr{Node: 0, Addr: 77}, []byte("after"))
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("write should be blocked on the busy lock")
+	default:
+	}
+	if _, err := mns[0].HandleRPC(&CommitReq{Txid: 999}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	r, _ := c.Read(Ptr{Node: 0, Addr: 77})
+	if string(r.Data) != "after" {
+		t.Fatalf("retry lost: %q", r.Data)
+	}
+}
+
+func TestBlockingMinitransactionWaits(t *testing.T) {
+	_, c, mns := newCluster(1)
+	resp, _ := mns[0].HandleRPC(&PrepareReq{
+		Txid:   5,
+		Writes: []WriteItem{{Node: 0, Addr: 9, Data: []byte("x")}},
+	})
+	if resp.(*ExecResp).Vote != voteOK {
+		t.Fatal("prepare should succeed")
+	}
+	start := time.Now()
+	go func() {
+		time.Sleep(2 * time.Millisecond)
+		mns[0].HandleRPC(&AbortReq{Txid: 5}) //nolint:errcheck
+	}()
+	_, err := c.Exec(&Minitx{
+		Blocking: true,
+		Writes:   []WriteItem{{Node: 0, Addr: 9, Data: []byte("y")}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 1*time.Millisecond {
+		t.Fatal("blocking minitransaction should have waited for the lock")
+	}
+}
+
+func TestConcurrentCASLosesExactlyOne(t *testing.T) {
+	_, c, _ := newCluster(1)
+	p := Ptr{Node: 0, Addr: 13}
+	if err := c.Write(p, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	// N goroutines attempt compare-version-1-and-write; exactly one wins.
+	const n = 16
+	var wg sync.WaitGroup
+	wins := make(chan int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.Exec(&Minitx{
+				Compares: []CompareItem{{Node: 0, Addr: 13, Kind: CompareVersion, Version: 1}},
+				Writes:   []WriteItem{{Node: 0, Addr: 13, Data: []byte{byte(i)}}},
+			})
+			if err == nil {
+				wins <- i
+			} else if !IsCompareFailed(err) {
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	count := 0
+	for range wins {
+		count++
+	}
+	if count != 1 {
+		t.Fatalf("CAS winners = %d, want 1", count)
+	}
+}
+
+func TestReplicationAndPromotion(t *testing.T) {
+	tr, c, mns := newCluster(2)
+	// Node 0 replicates to node 1.
+	mns[0].SetBackup(tr, 1)
+	for i := 0; i < 10; i++ {
+		p := Ptr{Node: 0, Addr: Addr(1000 + i)}
+		if err := c.Write(p, []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash node 0; promote its replica from node 1 and rebind.
+	tr.SetDown(0, true)
+	if _, err := c.Read(Ptr{Node: 0, Addr: 1000}); err == nil {
+		t.Fatal("reads from a crashed memnode should fail")
+	}
+	promoted := mns[1].PromoteReplica(0)
+	tr.Bind(0, promoted)
+	tr.SetDown(0, false)
+	for i := 0; i < 10; i++ {
+		r, err := c.Read(Ptr{Node: 0, Addr: Addr(1000 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fmt.Sprintf("v%d", i)
+		if !r.Exists || !bytes.Equal(r.Data, []byte(want)) {
+			t.Fatalf("key %d lost after promotion: %+v", i, r)
+		}
+	}
+}
+
+func TestReplicaAppliesInOrder(t *testing.T) {
+	tr, _, mns := newCluster(2)
+	mns[0].SetBackup(tr, 1)
+	// Deliver replica batches out of order directly.
+	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Seq: 2, Addrs: []Addr{7}, Data: [][]byte{[]byte("second")}, Versions: []uint64{2}}) //nolint:errcheck
+	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Seq: 3, Addrs: []Addr{7}, Data: [][]byte{[]byte("third")}, Versions: []uint64{3}})  //nolint:errcheck
+	// Nothing applied yet (waiting for Seq 1).
+	p := mns[1].PromoteReplica(0)
+	if _, err := p.HandleRPC(&StatsReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(p.items); got != 0 {
+		t.Fatalf("out-of-order applies leaked: %d items", got)
+	}
+	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Seq: 1, Addrs: []Addr{7}, Data: [][]byte{[]byte("first")}, Versions: []uint64{1}}) //nolint:errcheck
+	p = mns[1].PromoteReplica(0)
+	it := p.items[7]
+	if it == nil || string(it.data) != "third" || it.version != 3 {
+		t.Fatalf("replica state wrong after reordered applies: %+v", it)
+	}
+}
+
+func TestScanAndStats(t *testing.T) {
+	_, c, _ := newCluster(1)
+	for i := 0; i < 5; i++ {
+		if err := c.Write(Ptr{Node: 0, Addr: Addr(100 + 10*i)}, []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	items, err := c.Scan(0, 100, 140, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 4 {
+		t.Fatalf("scan [100,140) want 4 items, got %d", len(items))
+	}
+	for _, it := range items {
+		if len(it.Prefix) != 4 {
+			t.Fatalf("prefix length %d", len(it.Prefix))
+		}
+	}
+	st, err := c.Stats(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Items != 5 || st.Commits != 5 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestUnreachableNode(t *testing.T) {
+	tr, c, _ := newCluster(2)
+	tr.SetDown(1, true)
+	_, err := c.Read(Ptr{Node: 1, Addr: 1})
+	if !errors.Is(err, netsim.ErrUnreachable) {
+		t.Fatalf("want ErrUnreachable, got %v", err)
+	}
+}
+
+func TestEmptyMinitx(t *testing.T) {
+	_, c, _ := newCluster(1)
+	res, err := c.Exec(&Minitx{})
+	if err != nil || len(res.Reads) != 0 {
+		t.Fatalf("empty minitx: %v %+v", err, res)
+	}
+}

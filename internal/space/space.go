@@ -1,0 +1,82 @@
+// Package space defines Minuet's address-space layout: the well-known
+// addresses at which each memnode stores allocator state and the replicated
+// control objects (tip snapshot id, root location, snapshot counters), plus
+// the synthetic address regions used for the legacy replicated
+// sequence-number table and the snapshot catalog.
+//
+// Every memnode uses the same layout, which is what makes object replication
+// trivial: a replicated object lives at the same address on every memnode.
+// Control objects are replicated per tree so that transactions on different
+// trees never contend.
+package space
+
+import "minuet/internal/sinfonia"
+
+// Well-known singleton addresses. Address 0 is never used, so a zero Ptr is
+// unambiguously "nil".
+const (
+	// BumpAddr holds the allocator's bump pointer (8 bytes LE).
+	BumpAddr sinfonia.Addr = 8
+	// FreeHeadAddr holds the head of the allocator free list (8 bytes LE;
+	// 0 = empty).
+	FreeHeadAddr sinfonia.Addr = 16
+
+	// TreeDirAddr is the base of the tree directory: one control block per
+	// named tree, replicated on every memnode.
+	TreeDirAddr sinfonia.Addr = 1 << 20
+	// TreeDirStride is the spacing of tree control blocks.
+	TreeDirStride sinfonia.Addr = 256
+
+	// Control-block field offsets. Each field is an independent item so it
+	// versions independently.
+	CtlTipSnapID  sinfonia.Addr = 0  // tip snapshot id (8 bytes LE)
+	CtlTipRoot    sinfonia.Addr = 32 // tip root location (12 bytes)
+	CtlNextSnapID sinfonia.Addr = 64 // next snapshot id for branching trees
+	CtlLowestSnap sinfonia.Addr = 96 // GC watermark: lowest queryable snapshot
+
+	// DynamicBase is where the allocator starts handing out blocks.
+	DynamicBase sinfonia.Addr = 1 << 22
+
+	// SeqTableBase marks the synthetic region holding the legacy
+	// replicated sequence-number table (dirty traversals OFF). The entry
+	// for a node pointer lives at SeqTableAddr(ptr) on every memnode.
+	SeqTableBase sinfonia.Addr = 1 << 63
+
+	// CatalogBase marks the synthetic region holding the snapshot catalogs
+	// used by branching version trees. The entry for snapshot id s of tree
+	// t lives at CatalogAddr(t, s) on every memnode.
+	CatalogBase sinfonia.Addr = 1 << 62
+	// CatalogStride is the spacing of catalog slots.
+	CatalogStride sinfonia.Addr = 64
+)
+
+// SeqTableAddr maps a node pointer to the address of its replicated
+// sequence-number table entry. Dynamic addresses stay below 2^48 (256 TB per
+// memnode) and node ids below 2^14, so the packing cannot collide.
+func SeqTableAddr(p sinfonia.Ptr) sinfonia.Addr {
+	return SeqTableBase | sinfonia.Addr(uint64(p.Node+1)<<48) | (p.Addr & (1<<48 - 1))
+}
+
+// SeqTableAddrInverse recovers the node pointer a sequence-table address
+// refers to. ok is false if a is not a sequence-table address.
+func SeqTableAddrInverse(a sinfonia.Addr) (sinfonia.Ptr, bool) {
+	if a&SeqTableBase == 0 {
+		return sinfonia.Ptr{}, false
+	}
+	node := int32(uint64(a)>>48&0x7FFF) - 1
+	if node < 0 {
+		return sinfonia.Ptr{}, false
+	}
+	return sinfonia.Ptr{Node: sinfonia.NodeID(node), Addr: a & (1<<48 - 1)}, true
+}
+
+// CatalogAddr maps a (tree, snapshot id) pair to the address of its catalog
+// slot. Tree indices stay below 2^9 and snapshot ids below 2^46.
+func CatalogAddr(treeIdx int, sid uint64) sinfonia.Addr {
+	return CatalogBase | sinfonia.Addr(uint64(treeIdx)<<52) | sinfonia.Addr(sid)*CatalogStride
+}
+
+// TreeCtlAddr maps a tree index to the base address of its control block.
+func TreeCtlAddr(treeIdx int) sinfonia.Addr {
+	return TreeDirAddr + sinfonia.Addr(treeIdx)*TreeDirStride
+}

@@ -1,0 +1,73 @@
+package space
+
+import (
+	"testing"
+	"testing/quick"
+
+	"minuet/internal/sinfonia"
+)
+
+func TestSeqTableAddrInverseRoundTrip(t *testing.T) {
+	f := func(node int16, addr uint64) bool {
+		if node < 0 {
+			node = -node
+		}
+		p := sinfonia.Ptr{Node: sinfonia.NodeID(node), Addr: sinfonia.Addr(addr & (1<<48 - 1))}
+		got, ok := SeqTableAddrInverse(SeqTableAddr(p))
+		return ok && got == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqTableAddrInverseRejectsOtherRegions(t *testing.T) {
+	for _, a := range []sinfonia.Addr{0, BumpAddr, DynamicBase, CatalogAddr(0, 1), TreeCtlAddr(3)} {
+		if _, ok := SeqTableAddrInverse(a); ok {
+			t.Fatalf("address %#x wrongly parsed as seq-table entry", uint64(a))
+		}
+	}
+}
+
+func TestRegionsDisjoint(t *testing.T) {
+	// The well-known singletons, tree directory, dynamic region, catalog,
+	// and seq table must never overlap.
+	if TreeCtlAddr(511)+TreeDirStride >= DynamicBase {
+		t.Fatal("tree directory overlaps dynamic region")
+	}
+	if DynamicBase >= CatalogBase || CatalogBase >= SeqTableBase {
+		t.Fatal("region ordering broken")
+	}
+	if CatalogAddr(511, 1<<40) >= SeqTableBase {
+		t.Fatal("catalog overlaps seq table")
+	}
+	if SeqTableAddr(sinfonia.Ptr{Node: 1000, Addr: 1 << 47}) < SeqTableBase {
+		t.Fatal("seq table addr below its base")
+	}
+}
+
+func TestCatalogAddrStride(t *testing.T) {
+	a1 := CatalogAddr(0, 1)
+	a2 := CatalogAddr(0, 2)
+	if a2-a1 != CatalogStride {
+		t.Fatalf("stride %d", a2-a1)
+	}
+	if CatalogAddr(1, 1) == CatalogAddr(0, 1) {
+		t.Fatal("trees share catalog slots")
+	}
+}
+
+func TestTreeCtlFieldsDistinct(t *testing.T) {
+	base := TreeCtlAddr(0)
+	fields := []sinfonia.Addr{CtlTipSnapID, CtlTipRoot, CtlNextSnapID, CtlLowestSnap}
+	seen := map[sinfonia.Addr]bool{}
+	for _, f := range fields {
+		if seen[base+f] {
+			t.Fatal("control fields collide")
+		}
+		seen[base+f] = true
+	}
+	if TreeCtlAddr(1) <= base+CtlLowestSnap {
+		t.Fatal("control blocks overlap")
+	}
+}

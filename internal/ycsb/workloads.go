@@ -1,0 +1,57 @@
+package ycsb
+
+// Standard YCSB core workload presets (Cooper et al., SoCC 2010 §4). The
+// Minuet paper's microbenchmarks are custom mixes, but the presets make the
+// generator a complete YCSB replacement and are used by the ablation
+// benches.
+
+// WorkloadA is the update-heavy mix: 50% reads, 50% updates, Zipfian.
+func WorkloadA(records uint64) Workload {
+	return Workload{ReadProp: 0.5, UpdateProp: 0.5, Gen: NewZipfian(true), RecordCount: records}
+}
+
+// WorkloadB is the read-mostly mix: 95% reads, 5% updates, Zipfian.
+func WorkloadB(records uint64) Workload {
+	return Workload{ReadProp: 0.95, UpdateProp: 0.05, Gen: NewZipfian(true), RecordCount: records}
+}
+
+// WorkloadC is read-only: 100% reads, Zipfian.
+func WorkloadC(records uint64) Workload {
+	return Workload{ReadProp: 1.0, Gen: NewZipfian(true), RecordCount: records}
+}
+
+// WorkloadD is read-latest: 95% reads skewed to recent inserts, 5% inserts.
+func WorkloadD(records uint64) Workload {
+	return Workload{ReadProp: 0.95, InsertProp: 0.05, Gen: Latest{Z: NewZipfian(false)}, RecordCount: records}
+}
+
+// WorkloadE is short ranges: 95% scans (up to 100 keys), 5% inserts.
+func WorkloadE(records uint64) Workload {
+	return Workload{ScanProp: 0.95, InsertProp: 0.05, ScanLength: 100, Gen: NewZipfian(true), RecordCount: records}
+}
+
+// WorkloadF is read-modify-write approximated as 50% reads and 50% updates
+// of the same Zipfian keys (the generator has no RMW op; the Minuet paper
+// does not use one either).
+func WorkloadF(records uint64) Workload {
+	return WorkloadA(records)
+}
+
+// Preset returns a named workload ("a".."f") or false.
+func Preset(name string, records uint64) (Workload, bool) {
+	switch name {
+	case "a", "A":
+		return WorkloadA(records), true
+	case "b", "B":
+		return WorkloadB(records), true
+	case "c", "C":
+		return WorkloadC(records), true
+	case "d", "D":
+		return WorkloadD(records), true
+	case "e", "E":
+		return WorkloadE(records), true
+	case "f", "F":
+		return WorkloadF(records), true
+	}
+	return Workload{}, false
+}

@@ -1,0 +1,289 @@
+package ycsb
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKeyFormat(t *testing.T) {
+	k := Key(12345)
+	if len(k) != 14 {
+		t.Fatalf("key length %d, want 14 (paper)", len(k))
+	}
+	if !bytes.HasPrefix(k, []byte("user")) {
+		t.Fatalf("key prefix: %q", k)
+	}
+	if !bytes.Equal(Key(12345), Key(12345)) {
+		t.Fatal("keys must be deterministic")
+	}
+	if bytes.Equal(Key(1), Key(2)) {
+		t.Fatal("distinct ids must give distinct keys")
+	}
+}
+
+func TestKeysScattered(t *testing.T) {
+	// Sequential ids must not produce sequential keys (hashed insert
+	// order): adjacent ids should differ in their leading digits often.
+	adjacentClose := 0
+	for i := uint64(0); i < 1000; i++ {
+		a, b := Key(i), Key(i+1)
+		if bytes.Equal(a[:8], b[:8]) {
+			adjacentClose++
+		}
+	}
+	if adjacentClose > 10 {
+		t.Fatalf("%d/1000 adjacent ids share an 8-byte prefix: not scattered", adjacentClose)
+	}
+}
+
+func TestValueRoundTrip(t *testing.T) {
+	f := func(i uint64) bool {
+		v := Value(i)
+		if len(v) != 8 {
+			return false
+		}
+		var got uint64
+		for b := 7; b >= 0; b-- {
+			got = got<<8 | uint64(v[b])
+		}
+		return got == i
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := Uniform{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := g.Next(r, 100)
+		if v >= 100 {
+			t.Fatalf("uniform out of range: %d", v)
+		}
+	}
+	if g.Next(r, 0) != 0 {
+		t.Fatal("empty range must return 0")
+	}
+}
+
+func TestZipfianSkewAndBounds(t *testing.T) {
+	z := NewZipfian(false)
+	r := rand.New(rand.NewSource(2))
+	const n, samples = 1000, 200_000
+	counts := make([]int, n)
+	for i := 0; i < samples; i++ {
+		v := z.Next(r, n)
+		if v >= n {
+			t.Fatalf("zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// θ=0.99 Zipf: item 0 draws a few percent of all samples; the head
+	// (first 10 items) well over 10%; the tail is thin.
+	if counts[0] < samples/100 {
+		t.Fatalf("item 0 drew only %d of %d", counts[0], samples)
+	}
+	head := 0
+	for i := 0; i < 10; i++ {
+		head += counts[i]
+	}
+	if head < samples/10 {
+		t.Fatalf("head drew only %d of %d", head, samples)
+	}
+	if counts[0] <= counts[n-1] {
+		t.Fatal("no skew detected")
+	}
+}
+
+func TestZipfianScrambleSpreadsHotKeys(t *testing.T) {
+	z := NewZipfian(true)
+	r := rand.New(rand.NewSource(3))
+	const n = 1000
+	counts := make([]int, n)
+	for i := 0; i < 100_000; i++ {
+		counts[z.Next(r, n)]++
+	}
+	// The hottest item must not be item 0 with overwhelming likelihood
+	// (scrambling relocates it); just assert the distribution is still
+	// skewed and in range.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 1000 {
+		t.Fatalf("scrambled zipfian lost its skew: max=%d", max)
+	}
+}
+
+func TestLatestFavorsRecent(t *testing.T) {
+	g := Latest{Z: NewZipfian(false)}
+	r := rand.New(rand.NewSource(4))
+	const n = 1000
+	recent := 0
+	for i := 0; i < 10000; i++ {
+		v := g.Next(r, n)
+		if v >= n {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= n-10 {
+			recent++
+		}
+	}
+	if recent < 1000 {
+		t.Fatalf("latest distribution not recency-skewed: %d/10000 in last 10", recent)
+	}
+}
+
+// memDB is a trivial in-memory DB for runner tests.
+type memDB struct {
+	mu sync.Mutex
+	m  map[string][]byte
+
+	reads, updates, inserts, scans atomic.Int64
+}
+
+func newMemDB() *memDB { return &memDB{m: make(map[string][]byte)} }
+
+func (d *memDB) Read(key []byte) error {
+	d.reads.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_ = d.m[string(key)]
+	return nil
+}
+func (d *memDB) Update(key, val []byte) error {
+	d.updates.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[string(key)] = val
+	return nil
+}
+func (d *memDB) Insert(key, val []byte) error {
+	d.inserts.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.m[string(key)] = val
+	return nil
+}
+func (d *memDB) Scan(start []byte, count int) error {
+	d.scans.Add(1)
+	return nil
+}
+
+func TestLoadInsertsAll(t *testing.T) {
+	db := newMemDB()
+	if err := Load(db, 0, 1000, 7); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.m) != 1000 {
+		t.Fatalf("loaded %d records", len(db.m))
+	}
+	if db.inserts.Load() != 1000 {
+		t.Fatalf("insert count %d", db.inserts.Load())
+	}
+}
+
+func TestRunnerMixRoughlyHonored(t *testing.T) {
+	db := newMemDB()
+	r := &Runner{
+		DB:      db,
+		W:       Workload{ReadProp: 0.7, UpdateProp: 0.2, InsertProp: 0.1, RecordCount: 100},
+		Threads: 4,
+		Seed:    9,
+	}
+	rep := r.Run(150 * time.Millisecond)
+	if rep.Ops < 100 {
+		t.Fatalf("too few ops to judge mix: %d", rep.Ops)
+	}
+	reads := float64(db.reads.Load()) / float64(rep.Ops)
+	if reads < 0.6 || reads > 0.8 {
+		t.Fatalf("read fraction %f, want ≈0.7", reads)
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if rep.PerOp[OpRead].Count != db.reads.Load() {
+		t.Fatalf("per-op counts: %d vs %d", rep.PerOp[OpRead].Count, db.reads.Load())
+	}
+}
+
+func TestRunnerThrottleCapsRate(t *testing.T) {
+	db := newMemDB()
+	r := &Runner{
+		DB:              db,
+		W:               Workload{ReadProp: 1, RecordCount: 100},
+		Threads:         4,
+		TargetOpsPerSec: 2000,
+		Seed:            10,
+	}
+	rep := r.Run(300 * time.Millisecond)
+	if rep.Throughput > 3000 {
+		t.Fatalf("throttle ignored: %.0f ops/s", rep.Throughput)
+	}
+	if rep.Throughput < 500 {
+		t.Fatalf("throttle too aggressive: %.0f ops/s", rep.Throughput)
+	}
+}
+
+func TestRunnerScanAccounting(t *testing.T) {
+	db := newMemDB()
+	r := &Runner{
+		DB:      db,
+		W:       Workload{ScanProp: 1, ScanLength: 50, RecordCount: 100},
+		Threads: 2,
+		Seed:    11,
+	}
+	rep := r.Run(100 * time.Millisecond)
+	if rep.KeysScanned != db.scans.Load()*50 {
+		t.Fatalf("keys scanned %d for %d scans", rep.KeysScanned, db.scans.Load())
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	if OpRead.String() != "read" || OpUpdate.String() != "update" ||
+		OpInsert.String() != "insert" || OpScan.String() != "scan" {
+		t.Fatal("op kind strings")
+	}
+}
+
+func TestWorkloadPresets(t *testing.T) {
+	for _, name := range []string{"a", "b", "c", "d", "e", "f"} {
+		w, ok := Preset(name, 1000)
+		if !ok {
+			t.Fatalf("preset %q missing", name)
+		}
+		total := w.ReadProp + w.UpdateProp + w.InsertProp + w.ScanProp
+		if total < 0.999 || total > 1.001 {
+			t.Fatalf("preset %q proportions sum to %f", name, total)
+		}
+		if w.Gen == nil || w.RecordCount != 1000 {
+			t.Fatalf("preset %q incomplete: %+v", name, w)
+		}
+	}
+	if _, ok := Preset("z", 10); ok {
+		t.Fatal("unknown preset accepted")
+	}
+	if w := WorkloadE(10); w.ScanLength != 100 {
+		t.Fatal("workload E scan length")
+	}
+}
+
+func TestPresetsRunnable(t *testing.T) {
+	db := newMemDB()
+	for _, name := range []string{"a", "d", "e"} {
+		w, _ := Preset(name, 200)
+		r := &Runner{DB: db, W: w, Threads: 2, Seed: 77}
+		rep := r.Run(60 * time.Millisecond)
+		if rep.Ops == 0 || rep.Errors != 0 {
+			t.Fatalf("preset %q: %d ops %d errors", name, rep.Ops, rep.Errors)
+		}
+	}
+}

@@ -1,0 +1,520 @@
+package minuet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCluster(t *testing.T, opts Options) *Cluster {
+	t.Helper()
+	if opts.NodeSize == 0 {
+		opts.NodeSize = 512
+		opts.MaxLeafKeys = 8
+		opts.MaxInnerKeys = 8
+	}
+	c := NewCluster(opts)
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestPublicBasics(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, err := c.CreateTree("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Name() != "t" {
+		t.Fatal("name")
+	}
+	if err := tree.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := tree.Get([]byte("k"))
+	if err != nil || !ok || string(v) != "v" {
+		t.Fatalf("%q %v %v", v, ok, err)
+	}
+	existed, err := tree.Delete([]byte("k"))
+	if err != nil || !existed {
+		t.Fatalf("delete: %v %v", existed, err)
+	}
+	if _, ok, _ := tree.Get([]byte("k")); ok {
+		t.Fatal("deleted key visible")
+	}
+}
+
+func TestCreateTreeTwice(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	if _, err := c.CreateTree("dup"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTree("dup"); err == nil {
+		t.Fatal("duplicate tree name accepted")
+	}
+	if _, err := c.OpenTree("missing", 0); err == nil {
+		t.Fatal("unknown tree opened")
+	}
+}
+
+func TestOpenTreeOtherMachine(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 3})
+	t0, err := c.CreateTree("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := t0.Put([]byte("x"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.OpenTree("shared", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := t2.Get([]byte("x"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("other-proxy read: %q %v %v", v, ok, err)
+	}
+}
+
+func TestSnapshotFlow(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, _ := c.CreateTree("s")
+	for i := 0; i < 60; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("old")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := tree.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("new")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := tree.ScanSnapshot(snap, nil, 100)
+	if err != nil || len(rows) != 60 {
+		t.Fatalf("scan snapshot: %d %v", len(rows), err)
+	}
+	for _, kv := range rows {
+		if string(kv.Val) != "old" {
+			t.Fatalf("snapshot drift at %s", kv.Key)
+		}
+	}
+	v, ok, err := tree.GetSnapshot(snap, []byte("k000"))
+	if err != nil || !ok || string(v) != "old" {
+		t.Fatalf("get snapshot: %q %v %v", v, ok, err)
+	}
+	// Tip moved on.
+	now, _ := tree.Scan(nil, 100)
+	for _, kv := range now {
+		if string(kv.Val) != "new" {
+			t.Fatalf("tip stale at %s", kv.Key)
+		}
+	}
+	tip, err := tree.Tip()
+	if err != nil || tip.Sid <= snap.Sid {
+		t.Fatalf("tip %v after snapshot %v: %v", tip.Sid, snap.Sid, err)
+	}
+}
+
+func TestMultiTreeTxnAtomic(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	users, _ := c.CreateTree("users")
+	orders, _ := c.CreateTree("orders")
+
+	err := c.Txn([]*Tree{users, orders}, func(tx *Tx) error {
+		if err := tx.Put(users, []byte("u1"), []byte("alice")); err != nil {
+			return err
+		}
+		return tx.Put(orders, []byte("o1"), []byte("u1:widget"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, ok1, _ := users.Get([]byte("u1"))
+	v2, ok2, _ := orders.Get([]byte("o1"))
+	if !ok1 || !ok2 || string(v1) != "alice" || string(v2) != "u1:widget" {
+		t.Fatalf("txn results: %q/%v %q/%v", v1, ok1, v2, ok2)
+	}
+
+	// Reads and deletes inside transactions.
+	err = c.Txn([]*Tree{users, orders}, func(tx *Tx) error {
+		v, ok, err := tx.Get(users, []byte("u1"))
+		if err != nil || !ok || string(v) != "alice" {
+			return fmt.Errorf("txn read: %q %v %v", v, ok, err)
+		}
+		existed, err := tx.Delete(orders, []byte("o1"))
+		if err != nil || !existed {
+			return fmt.Errorf("txn delete: %v %v", existed, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := orders.Get([]byte("o1")); ok {
+		t.Fatal("txn delete invisible")
+	}
+}
+
+func TestTxnValidation(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	if err := c.Txn(nil, func(tx *Tx) error { return nil }); err == nil {
+		t.Fatal("empty txn tree list accepted")
+	}
+	a, _ := c.CreateTree("a")
+	boom := errors.New("boom")
+	if err := c.Txn([]*Tree{a}, func(tx *Tx) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("txn error lost: %v", err)
+	}
+}
+
+// TestBankTransferInvariant: concurrent cross-tree transfers preserve the
+// global sum — the public API's strict serializability in one property.
+func TestBankTransferInvariant(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	checking, _ := c.CreateTree("checking")
+	savings, _ := c.CreateTree("savings")
+	enc := func(v int) []byte { return []byte{byte(v)} }
+	if err := checking.Put([]byte("acct"), enc(100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := savings.Put([]byte("acct"), enc(100)); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				err := c.Txn([]*Tree{checking, savings}, func(tx *Tx) error {
+					cv, _, err := tx.Get(checking, []byte("acct"))
+					if err != nil {
+						return err
+					}
+					sv, _, err := tx.Get(savings, []byte("acct"))
+					if err != nil {
+						return err
+					}
+					if err := tx.Put(checking, []byte("acct"), enc(int(cv[0])-1)); err != nil {
+						return err
+					}
+					return tx.Put(savings, []byte("acct"), enc(int(sv[0])+1))
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	cv, _, _ := checking.Get([]byte("acct"))
+	sv, _, _ := savings.Get([]byte("acct"))
+	if int(cv[0])+int(sv[0]) != 200 || int(cv[0]) != 0 {
+		t.Fatalf("sum violated: %d + %d", cv[0], sv[0])
+	}
+}
+
+func TestBranchingThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2, Branching: true})
+	tree, _ := c.CreateTree("versions")
+	if err := tree.PutAt(1, []byte("k"), []byte("base")); err != nil {
+		t.Fatal(err)
+	}
+	br, err := tree.Branch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.PutAt(br.Sid, []byte("k"), []byte("branched")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.PutAt(1, []byte("k"), []byte("nope")); !errors.Is(err, ErrNotWritable) {
+		t.Fatalf("frozen write: %v", err)
+	}
+	v1, _, _ := tree.GetAt(1, []byte("k"))
+	v2, _, _ := tree.GetAt(br.Sid, []byte("k"))
+	if string(v1) != "base" || string(v2) != "branched" {
+		t.Fatalf("branch isolation: %q %q", v1, v2)
+	}
+	tip, err := tree.ResolveTip(1)
+	if err != nil || tip != br.Sid {
+		t.Fatalf("resolve tip: %d %v", tip, err)
+	}
+	if _, err := tree.DeleteAt(br.Sid, []byte("k")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tree.GetAt(br.Sid, []byte("k")); ok {
+		t.Fatal("delete-at invisible")
+	}
+	rows, err := tree.ScanAt(1, nil, 10)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("scan-at frozen version: %d %v", len(rows), err)
+	}
+}
+
+func TestLegacyModeThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2, LegacyTraversals: true})
+	tree, _ := c.CreateTree("legacy")
+	for i := 0; i < 100; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok, err := tree.Get([]byte(fmt.Sprintf("k%03d", i))); err != nil || !ok {
+			t.Fatalf("legacy get %d: %v %v", i, ok, err)
+		}
+	}
+}
+
+func TestGarbageCollectionThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, _ := c.CreateTree("gc")
+	for i := 0; i < 80; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v0")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= 3; round++ {
+		if _, err := tree.Snapshot(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 80; i++ {
+			if err := tree.Put([]byte(fmt.Sprintf("k%03d", i)), []byte(fmt.Sprintf("v%d", round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	freed, err := tree.CollectGarbage(1)
+	if err != nil || freed == 0 {
+		t.Fatalf("gc: %d %v", freed, err)
+	}
+	if s := tree.Stats(); s.Ops == 0 || s.CopyOnWr == 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+// TestQuickModelEquivalence drives the public API with random operation
+// sequences and cross-checks a reference map (property-based test at the
+// API boundary).
+func TestQuickModelEquivalence(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, err := c.CreateTree("quick")
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[string]string{}
+
+	f := func(rawKey uint16, rawVal uint32, op uint8) bool {
+		k := []byte(fmt.Sprintf("k%05d", rawKey%512))
+		v := []byte(fmt.Sprintf("v%d", rawVal))
+		switch op % 3 {
+		case 0: // put
+			if err := tree.Put(k, v); err != nil {
+				return false
+			}
+			model[string(k)] = string(v)
+		case 1: // delete
+			existed, err := tree.Delete(k)
+			if err != nil {
+				return false
+			}
+			_, want := model[string(k)]
+			if existed != want {
+				return false
+			}
+			delete(model, string(k))
+		case 2: // get
+			got, ok, err := tree.Get(k)
+			if err != nil {
+				return false
+			}
+			want, wantOK := model[string(k)]
+			if ok != wantOK || (ok && string(got) != want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+	// Final scan equals the model.
+	rows, err := tree.Scan(nil, 10_000)
+	if err != nil || len(rows) != len(model) {
+		t.Fatalf("final scan: %d vs model %d (%v)", len(rows), len(model), err)
+	}
+	for _, kv := range rows {
+		if model[string(kv.Key)] != string(kv.Val) {
+			t.Fatalf("model mismatch at %s", kv.Key)
+		}
+	}
+}
+
+func TestScanPrefixBoundaries(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	tree, _ := c.CreateTree("bounds")
+	keys := []string{"", "a", "aa", "ab", "b", "zz"}
+	for _, k := range keys {
+		if err := tree.Put([]byte(k), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := tree.Scan([]byte("aa"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aa", "ab", "b", "zz"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for i, kv := range rows {
+		if !bytes.Equal(kv.Key, []byte(want[i])) {
+			t.Fatalf("row %d: %q want %q", i, kv.Key, want[i])
+		}
+	}
+	// Empty key is a legal key and scans from the absolute start.
+	rows, _ = tree.Scan(nil, 10)
+	if len(rows) != len(keys) {
+		t.Fatalf("full scan %d", len(rows))
+	}
+	if len(rows[0].Key) != 0 {
+		t.Fatalf("first key %q", rows[0].Key)
+	}
+}
+
+func TestLargeValuesAndEmptyValue(t *testing.T) {
+	c := newTestCluster(t, Options{})
+	tree, _ := c.CreateTree("vals")
+	big := bytes.Repeat([]byte("x"), 4000)
+	if err := tree.Put([]byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := tree.Get([]byte("big"))
+	if !ok || !bytes.Equal(v, big) {
+		t.Fatal("large value mangled")
+	}
+	if err := tree.Put([]byte("empty"), nil); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = tree.Get([]byte("empty"))
+	if !ok || len(v) != 0 {
+		t.Fatalf("empty value: %q %v", v, ok)
+	}
+}
+
+func TestCursorThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, _ := c.CreateTree("cur")
+	for i := 0; i < 120; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("k%04d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := tree.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := tree.Cursor(snap, []byte("k0050"))
+	n := 50
+	for cur.Next() {
+		if string(cur.Key()) != fmt.Sprintf("k%04d", n) {
+			t.Fatalf("cursor at %q, want k%04d", cur.Key(), n)
+		}
+		n++
+		cur.Advance()
+	}
+	if cur.Err() != nil || n != 120 {
+		t.Fatalf("cursor stopped at %d: %v", n, cur.Err())
+	}
+}
+
+func TestDiffThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, _ := c.CreateTree("d")
+	for i := 0; i < 50; i++ {
+		if err := tree.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s1, _ := tree.Snapshot()
+	if err := tree.Put([]byte("k007"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Delete([]byte("k010")); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := tree.Snapshot()
+	diff, err := tree.Diff(s1, s2, 0)
+	if err != nil || len(diff) != 2 {
+		t.Fatalf("diff: %v %v", diff, err)
+	}
+	if diff[0].Kind != DiffChanged || diff[1].Kind != DiffRemoved {
+		t.Fatalf("diff kinds: %v %v", diff[0].Kind, diff[1].Kind)
+	}
+}
+
+func TestSnapshotBorrowedThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2})
+	tree, _ := c.CreateTree("sb")
+	if err := tree.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	borrowedAny := false
+	var mu sync.Mutex
+	for i := 0; i < 24; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			snap, borrowed, err := tree.SnapshotBorrowed()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if v, ok, err := tree.GetSnapshot(snap, []byte("k")); err != nil || !ok || string(v) != "v" {
+				t.Errorf("borrowed snapshot unreadable: %q %v %v", v, ok, err)
+			}
+			mu.Lock()
+			if borrowed {
+				borrowedAny = true
+			}
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	_ = borrowedAny // borrowing is timing-dependent; correctness checked above
+}
+
+func TestVersionQueriesThroughPublicAPI(t *testing.T) {
+	c := newTestCluster(t, Options{Machines: 2, Branching: true})
+	tree, _ := c.CreateTree("vq")
+	if err := tree.PutAt(1, []byte("k"), []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := tree.Branch(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.PutAt(b2.Sid, []byte("k"), []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := tree.KeyHistory(b2.Sid, []byte("k"))
+	if err != nil || len(hist) != 2 || string(hist[0].Val) != "one" || string(hist[1].Val) != "two" {
+		t.Fatalf("history: %+v %v", hist, err)
+	}
+	changes, err := tree.KeyChanges(b2.Sid, []byte("k"))
+	if err != nil || len(changes) != 2 {
+		t.Fatalf("changes: %+v %v", changes, err)
+	}
+	tips, err := tree.KeyAcrossTips(1, []byte("k"))
+	if err != nil || len(tips) != 1 || tips[0].Sid != b2.Sid {
+		t.Fatalf("tips: %+v %v", tips, err)
+	}
+}
