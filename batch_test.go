@@ -1,0 +1,280 @@
+package minuet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func batchKey(i int) []byte { return []byte(fmt.Sprintf("bk%05d", i)) }
+
+func encGen(g uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], g)
+	return b[:]
+}
+
+// TestWriteBatchBasic checks the public API end to end, including
+// last-wins duplicate handling and deletes.
+func TestWriteBatchBasic(t *testing.T) {
+	c := NewCluster(Options{Machines: 2})
+	defer c.Close()
+	tree, err := c.CreateTree("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := tree.NewBatch()
+	for i := 0; i < 1000; i++ {
+		b.Put(batchKey(i), []byte(fmt.Sprintf("v%d", i)))
+	}
+	b.Delete(batchKey(0))
+	b.Put(batchKey(1), []byte("rewritten"))
+	if err := tree.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tree.Get(batchKey(0)); ok {
+		t.Fatal("deleted key visible")
+	}
+	if v, ok, _ := tree.Get(batchKey(1)); !ok || string(v) != "rewritten" {
+		t.Fatalf("key 1: %q %v", v, ok)
+	}
+	for i := 2; i < 1000; i++ {
+		if v, ok, _ := tree.Get(batchKey(i)); !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("key %d: %q %v", i, v, ok)
+		}
+	}
+	rows, err := tree.Scan(nil, 2000)
+	if err != nil || len(rows) != 999 {
+		t.Fatalf("scan: %d rows, %v", len(rows), err)
+	}
+}
+
+// TestWriteBatchAtomicVisibility: a writer repeatedly rewrites a group of
+// keys to generation g with one batch; concurrent transactional readers
+// must always observe a single generation across the whole group — never a
+// torn prefix.
+func TestWriteBatchAtomicVisibility(t *testing.T) {
+	c := NewCluster(Options{Machines: 4, NodeSize: 512, MaxLeafKeys: 8, MaxInnerKeys: 8})
+	defer c.Close()
+	tree, err := c.CreateTree("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groupKeys = 40
+	b := tree.NewBatch()
+	for i := 0; i < groupKeys; i++ {
+		b.Put(batchKey(i), encGen(0))
+	}
+	if err := tree.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var torn atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		h, err := c.OpenTree("batch", (r+1)%c.Machines())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(h *Tree) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// One transaction across the group: strictly serializable,
+				// so all keys must decode to the same generation.
+				gens := make([]uint64, 0, groupKeys)
+				err := c.Txn([]*Tree{h}, func(tx *Tx) error {
+					gens = gens[:0]
+					for i := 0; i < groupKeys; i++ {
+						v, ok, err := tx.Get(h, batchKey(i))
+						if err != nil || !ok {
+							return err
+						}
+						gens = append(gens, binary.LittleEndian.Uint64(v))
+					}
+					return nil
+				})
+				if err != nil || len(gens) != groupKeys {
+					continue
+				}
+				for _, g := range gens {
+					if g != gens[0] {
+						torn.Add(1)
+						return
+					}
+				}
+			}
+		}(h)
+	}
+
+	for g := uint64(1); g <= 30; g++ {
+		b.Reset()
+		for i := 0; i < groupKeys; i++ {
+			b.Put(batchKey(i), encGen(g))
+		}
+		if err := tree.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if torn.Load() != 0 {
+		t.Fatalf("%d torn batch reads observed", torn.Load())
+	}
+}
+
+// TestWriteBatchConflictRetry pits batches against concurrent single-key
+// writers on the same keys: both paths must complete, and every key must
+// end at one of the two legal values.
+func TestWriteBatchConflictRetry(t *testing.T) {
+	c := NewCluster(Options{Machines: 2, NodeSize: 512, MaxLeafKeys: 8, MaxInnerKeys: 8})
+	defer c.Close()
+	tree, err := c.CreateTree("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 80
+	for i := 0; i < n; i++ {
+		if err := tree.Put(batchKey(i), []byte("base")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for w := 0; w < 2; w++ {
+		h, err := c.OpenTree("batch", w%c.Machines())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, h *Tree) {
+			defer wg.Done()
+			for round := 0; round < 15; round++ {
+				for i := w; i < n; i += 2 {
+					if err := h.Put(batchKey(i), []byte("single")); err != nil {
+						errs <- fmt.Errorf("writer %d: %w", w, err)
+						return
+					}
+				}
+			}
+		}(w, h)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		b := tree.NewBatch()
+		for round := 0; round < 15; round++ {
+			b.Reset()
+			for i := 0; i < n; i++ {
+				b.Put(batchKey(i), []byte("batched"))
+			}
+			if err := tree.WriteBatch(b); err != nil {
+				errs <- fmt.Errorf("batch: %w", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tree.Get(batchKey(i))
+		if err != nil || !ok {
+			t.Fatalf("key %d: %v %v", i, ok, err)
+		}
+		if s := string(v); s != "single" && s != "batched" {
+			t.Fatalf("key %d: impossible value %q", i, v)
+		}
+	}
+}
+
+// TestWriteBatchCrashMidBatch hammers batches while a memnode crashes and
+// recovers mid-run: every batch stamps its whole key group with one
+// generation, so all-or-nothing application means the surviving state is a
+// single generation across the group — regardless of which batches were cut
+// down by the fail-over.
+func TestWriteBatchCrashMidBatch(t *testing.T) {
+	c := NewCluster(Options{
+		Machines: 4, Replicate: true,
+		NodeSize: 512, MaxLeafKeys: 8, MaxInnerKeys: 8,
+	})
+	defer c.Close()
+	tree, err := c.CreateTree("batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const groupKeys = 60
+	b := tree.NewBatch()
+	for i := 0; i < groupKeys; i++ {
+		b.Put(batchKey(i), encGen(0))
+	}
+	if err := tree.WriteBatch(b); err != nil {
+		t.Fatal(err)
+	}
+
+	var lastAcked atomic.Uint64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h, err := c.OpenTree("batch", 1) // proxy on a machine that stays up
+		if err != nil {
+			return
+		}
+		bb := h.NewBatch()
+		for g := uint64(1); ; g++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			bb.Reset()
+			for i := 0; i < groupKeys; i++ {
+				bb.Put(batchKey(i), encGen(g))
+			}
+			if err := h.WriteBatch(bb); err == nil {
+				lastAcked.Store(g)
+			}
+		}
+	}()
+
+	time.Sleep(50 * time.Millisecond)
+	c.Internal().CrashMachine(2)
+	if err := c.Internal().RecoverMachine(2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// The group must hold exactly one generation, and at least the last
+	// acknowledged one (later unacked batches may also have landed).
+	var gens []uint64
+	for i := 0; i < groupKeys; i++ {
+		v, ok, err := tree.Get(batchKey(i))
+		if err != nil || !ok || len(v) != 8 {
+			t.Fatalf("key %d: %v %v", i, ok, err)
+		}
+		gens = append(gens, binary.LittleEndian.Uint64(v))
+	}
+	for _, g := range gens {
+		if g != gens[0] {
+			t.Fatalf("torn batch after crash: generations %v", gens)
+		}
+	}
+	if gens[0] < lastAcked.Load() {
+		t.Fatalf("acked batch lost: tree at generation %d, acked %d", gens[0], lastAcked.Load())
+	}
+}

@@ -17,6 +17,7 @@ import (
 
 	"minuet/internal/core"
 	"minuet/internal/experiments"
+	"minuet/internal/metrics"
 	"minuet/internal/ycsb"
 )
 
@@ -242,6 +243,53 @@ func BenchmarkPut(b *testing.B) {
 		if err := tree.Put(ycsb.Key(uint64(i)), ycsb.Value(uint64(i))); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBatchPut measures the batched write path at several batch sizes
+// on a 4-machine cluster, reporting memnode round trips per written key
+// (the metric the batch pipeline exists to shrink: size 256 must come in at
+// least 10× under size 1).
+func BenchmarkBatchPut(b *testing.B) {
+	for _, size := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			c := NewCluster(Options{Machines: 4})
+			defer c.Close()
+			tree, err := c.CreateTree("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Preload so interior structure exists and caches warm up.
+			const preload = 20_000
+			for i := 0; i < preload; i++ {
+				if err := tree.Put(ycsb.Key(uint64(i)), ycsb.Value(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			tr := c.Internal().Transport()
+			rts := metrics.NewCounter()
+			keys := metrics.NewCounter()
+			batch := tree.NewBatch()
+			b.ResetTimer()
+			calls0 := tr.Stats().Calls
+			for i := 0; i < b.N; i++ {
+				batch.Reset()
+				for j := 0; j < size; j++ {
+					k := uint64(i*size+j) % preload
+					batch.Put(ycsb.Key(k), ycsb.Value(k^0xBEEF))
+				}
+				if err := tree.WriteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				keys.Add(int64(size))
+			}
+			b.StopTimer()
+			rts.Add(tr.Stats().Calls - calls0)
+			if keys.Total() > 0 {
+				b.ReportMetric(float64(rts.Total())/float64(keys.Total()), "roundtrips/key")
+			}
+			b.ReportMetric(float64(keys.Total())/b.Elapsed().Seconds(), "keys/s")
+		})
 	}
 }
 

@@ -35,6 +35,7 @@ func main() {
 		latency  = flag.Duration("latency", 0, "one-way simulated network latency")
 		scanLen  = flag.Int("scan", 0, "scan length in keys")
 		quick    = flag.Bool("quick", false, "use the quick (smoke-test) scale")
+		batch    = flag.Int("batch", 0, "records per atomic write batch in preload phases (0/1 = single-key)")
 	)
 	flag.Parse()
 
@@ -66,6 +67,9 @@ func main() {
 	}
 	if *scanLen > 0 {
 		sc.ScanLength = *scanLen
+	}
+	if *batch > 0 {
+		sc.LoadBatch = *batch
 	}
 
 	want := map[int]bool{}

@@ -33,6 +33,7 @@ func main() {
 		threads  = flag.Int("threads", 8, "loader threads")
 		runFor   = flag.Duration("run", 2*time.Second, "mixed-workload duration after loading")
 		create   = flag.Bool("create", true, "create the tree (set false to attach to an existing one)")
+		batch    = flag.Int("batch", 1, "records per atomic write batch in the load phase (1 = single-key inserts)")
 	)
 	flag.Parse()
 
@@ -65,11 +66,11 @@ func main() {
 
 	db := &treeDB{bt: bt}
 	t0 := time.Now()
-	if err := ycsb.Load(db, 0, *n, *threads); err != nil {
+	if err := ycsb.LoadBatched(db, 0, *n, *threads, *batch); err != nil {
 		log.Fatalf("minuet-load: load: %v", err)
 	}
 	loadDur := time.Since(t0)
-	fmt.Printf("loaded %d records in %v (%.0f ops/s)\n", *n, loadDur.Round(time.Millisecond), float64(*n)/loadDur.Seconds())
+	fmt.Printf("loaded %d records (batch %d) in %v (%.0f ops/s)\n", *n, *batch, loadDur.Round(time.Millisecond), float64(*n)/loadDur.Seconds())
 
 	runner := &ycsb.Runner{
 		DB:      db,
@@ -117,4 +118,13 @@ func (d *treeDB) Insert(key, val []byte) error { return d.bt.Put(key, val) }
 func (d *treeDB) Scan(start []byte, count int) error {
 	_, err := d.bt.ScanTip(start, count)
 	return err
+}
+
+// WriteBatch implements ycsb.BatchDB over the core batch path.
+func (d *treeDB) WriteBatch(keys, vals [][]byte) error {
+	ops := make([]core.BatchOp, len(keys))
+	for i := range keys {
+		ops[i] = core.BatchOp{Key: keys[i], Val: vals[i]}
+	}
+	return d.bt.ApplyBatch(ops)
 }

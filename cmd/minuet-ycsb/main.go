@@ -35,6 +35,7 @@ func main() {
 		zipf     = flag.Bool("zipfian", false, "Zipfian key distribution (default uniform)")
 		legacy   = flag.Bool("legacy", false, "disable dirty traversals (Aguilera et al. mode)")
 		target   = flag.Float64("target", 0, "target ops/sec (0 = open loop)")
+		batch    = flag.Int("batch", 1, "records per atomic write batch in the load phase (1 = single-key inserts)")
 	)
 	flag.Parse()
 
@@ -70,9 +71,9 @@ func main() {
 	}
 
 	db := &treeDB{tree: tree}
-	fmt.Printf("loading %d records on %d machines...\n", *records, *machines)
+	fmt.Printf("loading %d records on %d machines (batch %d)...\n", *records, *machines, *batch)
 	t0 := time.Now()
-	if err := ycsb.Load(db, 0, *records, *threads); err != nil {
+	if err := ycsb.LoadBatched(db, 0, *records, *threads, *batch); err != nil {
 		fatalf("load: %v", err)
 	}
 	fmt.Printf("loaded in %v (%.0f ops/s)\n", time.Since(t0).Round(time.Millisecond),
@@ -117,6 +118,16 @@ func (d *treeDB) Scan(start []byte, count int) error {
 	}
 	_, err = d.tree.ScanSnapshot(snap, start, count)
 	return err
+}
+
+// WriteBatch implements ycsb.BatchDB: the load phase groups inserts into
+// atomic batches that commit in a handful of round trips.
+func (d *treeDB) WriteBatch(keys, vals [][]byte) error {
+	b := d.tree.NewBatch()
+	for i := range keys {
+		b.Put(keys[i], vals[i])
+	}
+	return d.tree.WriteBatch(b)
 }
 
 func max64(a, b int64) int64 {

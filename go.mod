@@ -1,0 +1,3 @@
+module minuet
+
+go 1.22

@@ -70,7 +70,9 @@ type Cluster struct {
 	memnodes []*sinfonia.Memnode
 	proxies  []*Proxy
 
-	recovery *sinfonia.RecoveryCoordinator
+	recovery  *sinfonia.RecoveryCoordinator
+	stop      chan struct{}
+	closeOnce sync.Once
 
 	mu    sync.Mutex
 	scs   map[int]*core.SCS // treeIdx -> service (hosted on machine 0)
@@ -125,10 +127,20 @@ func New(cfg Config) *Cluster {
 	// the transport like any other node.
 	cl.tr.Bind(scsNodeID, netsim.HandlerFunc(cl.handleSCS))
 	// The recovery coordinator (Sinfonia's management process) resolves
-	// minitransactions orphaned by crashed proxies; experiments and tests
-	// trigger sweeps explicitly or run it in the background.
+	// minitransactions orphaned by crashed coordinators — including
+	// prepares inherited by a promoted backup whose coordinator never
+	// reached it. It sweeps in the background for the cluster's lifetime;
+	// tests may additionally trigger sweeps explicitly.
 	cl.recovery = sinfonia.NewRecoveryCoordinator(cl.tr, nodes)
+	cl.stop = make(chan struct{})
+	go cl.recovery.Run(50*time.Millisecond, cl.stop)
 	return cl
+}
+
+// Close stops the cluster's background services (recovery sweeps). Safe to
+// call more than once.
+func (cl *Cluster) Close() {
+	cl.closeOnce.Do(func() { close(cl.stop) })
 }
 
 // Recovery returns the cluster's recovery coordinator.
@@ -243,23 +255,47 @@ func (cl *Cluster) RunGC(treeIdx int, keepRecent uint64) (int, error) {
 	return bt.RunGCKeepRecent(keepRecent)
 }
 
-// CrashMachine takes machine i's memnode offline.
+// CrashMachine takes machine i's memnode offline with fail-stop semantics:
+// new requests are refused, in-flight responses are dropped, and the call
+// returns only once every handler on the dead node has finished — so a
+// backup promoted afterwards has seen everything the primary will ever
+// replicate.
 func (cl *Cluster) CrashMachine(i int) {
 	cl.tr.SetDown(sinfonia.NodeID(i), true)
+	cl.tr.Quiesce(sinfonia.NodeID(i))
 }
 
 // RecoverMachine promotes machine i's backup (hosted on machine i+1) and
 // rebinds it under the crashed memnode's identity, then brings the address
-// back online. Requires Replicate.
+// back online and re-arms the replication ring: the promoted node resumes
+// forwarding to machine i+1 and re-seeds its own mirror of machine i-1
+// (whose previous mirror died with the crashed host). Requires Replicate.
 func (cl *Cluster) RecoverMachine(i int) error {
 	if !cl.cfg.Replicate {
 		return fmt.Errorf("cluster: replication disabled")
 	}
-	backupHost := cl.memnodes[(i+1)%len(cl.memnodes)]
-	promoted := backupHost.PromoteReplica(sinfonia.NodeID(i))
+	n := len(cl.memnodes)
+	id := sinfonia.NodeID(i)
+	backupHost := cl.memnodes[(i+1)%n]
+	promoted := backupHost.PromoteReplica(id)
+	if n > 1 {
+		promoted.SetBackup(cl.tr, sinfonia.NodeID((i+1)%n))
+	}
 	cl.memnodes[i] = promoted
-	cl.tr.Bind(sinfonia.NodeID(i), promoted)
-	cl.tr.SetDown(sinfonia.NodeID(i), false)
+	cl.tr.Bind(id, promoted)
+	cl.tr.SetDown(id, false)
+
+	// Take over backup duty for the predecessor: pull its full state and
+	// merge under the version guard (bringing the node online first means
+	// fresh replica applies and the seed interleave safely).
+	pred := sinfonia.NodeID((i - 1 + n) % n)
+	if pred != id {
+		if resp, err := cl.tr.Call(pred, &sinfonia.SnapshotStateReq{}); err == nil {
+			if st, ok := resp.(*sinfonia.SnapshotStateResp); ok {
+				promoted.SeedReplica(pred, st.Addrs, st.Data, st.Versions)
+			}
+		}
+	}
 	return nil
 }
 

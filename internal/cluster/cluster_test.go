@@ -238,7 +238,7 @@ func TestRecoveryCoordinatorThroughCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 	rc := cl.Recovery()
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	committed, aborted, err := rc.SweepOnce()
 	if err != nil {
 		t.Fatal(err)

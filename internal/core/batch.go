@@ -1,0 +1,187 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"minuet/internal/dyntx"
+	"minuet/internal/wire"
+)
+
+// Batched writes. A batch groups many Put/Delete operations into one
+// dynamic transaction that commits in as few minitransaction round trips as
+// possible:
+//
+//   - keys are sorted and swept leaf by leaf, so each touched leaf is read,
+//     validated, and rewritten once — one OCC validate+apply per leaf-group
+//     rather than per key;
+//   - the touched leaves are prefetched with one multi-read minitransaction
+//     per memnode, issued concurrently (Client.ExecIndependent), so the
+//     fetch phase costs roughly one round trip regardless of batch size;
+//   - the commit is a single minitransaction; when its writes span several
+//     memnodes, the two-phase protocol prepares all of them in parallel.
+//
+// The whole batch is atomic: every mutation applies, or (on conflict or
+// crash) none does. Conflicts with concurrent writers surface as validation
+// failures and retry the batch with backoff, like any other operation.
+
+// BatchOp is one operation in a write batch: a Put of (Key, Val), or a
+// Delete of Key when Delete is set.
+type BatchOp struct {
+	Key    wire.Key
+	Val    []byte
+	Delete bool
+}
+
+// ErrBatchBranching reports a batched write on a branching-mode tree, which
+// routes root updates through the snapshot catalog and is not yet wired
+// into the batch path.
+var ErrBatchBranching = errors.New("core: batched writes are not supported on branching trees")
+
+// normalizeBatch sorts ops by key and collapses duplicate keys to the last
+// occurrence, preserving Put/Put, Put/Delete, and Delete/Put overwrite
+// semantics. The input slice is not modified.
+func normalizeBatch(ops []BatchOp) []BatchOp {
+	last := make(map[string]int, len(ops))
+	for i := range ops {
+		last[string(ops[i].Key)] = i
+	}
+	out := make([]BatchOp, 0, len(last))
+	for i := range ops {
+		if last[string(ops[i].Key)] == i {
+			out = append(out, ops[i])
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return wire.CompareKeys(out[a].Key, out[b].Key) < 0 })
+	return out
+}
+
+// ApplyBatch applies ops as one atomic batch at the tip, retrying on
+// optimistic conflicts with the same loop single-key operations use.
+func (bt *BTree) ApplyBatch(ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if bt.cfg.Branching {
+		return ErrBatchBranching
+	}
+	norm := normalizeBatch(ops)
+	return bt.run(func(t *dyntx.Txn) error { return bt.batchTxn(t, norm) })
+}
+
+// BatchTxn assembles ops into an existing dynamic transaction. The caller
+// owns commit (and retry); ops from several batches or trees may share one
+// transaction and commit atomically together.
+func (bt *BTree) BatchTxn(t *dyntx.Txn, ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if bt.cfg.Branching {
+		return ErrBatchBranching
+	}
+	return bt.batchTxn(t, normalizeBatch(ops))
+}
+
+// batchTxn is the sorted leaf sweep. ops must be normalized.
+func (bt *BTree) batchTxn(t *dyntx.Txn, ops []BatchOp) error {
+	sid, root, err := bt.injectTip(t)
+	if err != nil {
+		return err
+	}
+
+	// Prefetch the touched leaves into the read set, one concurrent
+	// multi-read minitransaction per memnode. Best-effort: on any planning
+	// hiccup the sweep below fetches leaves itself (one round trip each).
+	bt.prefetchBatchLeaves(t, root, sid, ops)
+
+	// Sweep the sorted ops leaf by leaf. Each group re-traverses through
+	// the transaction: dirty reads are shadowed by the write set, so a
+	// parent (or root) rewritten by an earlier group in this same
+	// transaction is observed by later groups with no network traffic.
+	for i := 0; i < len(ops); {
+		curRoot := root
+		if d, ok := t.PendingWrite(bt.refTipRoot()); ok {
+			curRoot = decodePtr(d) // the batch split the root earlier in this txn
+		}
+		path, err := bt.traverse(t, curRoot, sid, ops[i].Key, true)
+		if err != nil {
+			return err
+		}
+		leaf := path[len(path)-1]
+		nl := leaf.node.clone()
+		changed := false
+		j := i
+		for ; j < len(ops) && leaf.node.inRange(ops[j].Key); j++ {
+			op := ops[j]
+			idx, found := nl.search(op.Key)
+			if op.Delete {
+				if found {
+					nl.Keys = append(nl.Keys[:idx], nl.Keys[idx+1:]...)
+					nl.Vals = append(nl.Vals[:idx], nl.Vals[idx+1:]...)
+					changed = true
+				}
+				continue
+			}
+			if found {
+				nl.Vals[idx] = op.Val
+			} else {
+				nl.Keys = append(nl.Keys, nil)
+				copy(nl.Keys[idx+1:], nl.Keys[idx:])
+				nl.Keys[idx] = op.Key
+				nl.Vals = append(nl.Vals, nil)
+				copy(nl.Vals[idx+1:], nl.Vals[idx:])
+				nl.Vals[idx] = op.Val
+			}
+			changed = true
+		}
+		if changed {
+			if err := bt.applyUpdate(t, sid, path, len(path)-1, nl); err != nil {
+				return err
+			}
+		}
+		i = j
+	}
+	return nil
+}
+
+// prefetchBatchLeaves plans the leaf for every op by walking interior nodes
+// (proxy cache first, dirty reads on miss) and fetches all distinct planned
+// leaves with one concurrent multi-read minitransaction per memnode,
+// injecting them into the read set. Planning errors abandon the prefetch —
+// the authoritative sweep re-traverses and reports them properly.
+func (bt *BTree) prefetchBatchLeaves(t *dyntx.Txn, root Ptr, sid uint64, ops []BatchOp) {
+	var refs []dyntx.Ref
+	seen := make(map[Ptr]struct{})
+	haveHigh := false
+	var high wire.Fence
+	for _, op := range ops {
+		if haveHigh && (high.IsPosInf() || high.CompareKey(op.Key) < 0) {
+			continue // same planned leaf as the previous op
+		}
+		curPtr := root
+		cur, _, err := bt.loadInner(t, curPtr)
+		if err != nil || cur.IsLeaf() || !bt.checkNode(cur, sid, op.Key) {
+			return
+		}
+		for cur.Height > 1 {
+			i := cur.childIndex(op.Key)
+			nextPtr := cur.Kids[i]
+			next, _, err := bt.loadInner(t, nextPtr)
+			if err != nil || next.Height != cur.Height-1 || !bt.checkNode(next, sid, op.Key) {
+				return
+			}
+			cur, curPtr = next, nextPtr
+		}
+		i := cur.childIndex(op.Key)
+		leafPtr := cur.Kids[i]
+		_, high = cur.childFences(i)
+		haveHigh = true
+		if _, dup := seen[leafPtr]; !dup {
+			seen[leafPtr] = struct{}{}
+			refs = append(refs, refNode(leafPtr))
+		}
+	}
+	if len(refs) > 0 {
+		_, _ = t.ReadBatch(refs)
+	}
+}

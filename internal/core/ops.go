@@ -82,6 +82,63 @@ func splitNode(n *Node) (left, right *Node, sep wire.Key) {
 	return left, right, sep
 }
 
+// splitNodeMany splits an over-full node image into as many parts as needed
+// so that every part holds at most maxKeys keys, returning the parts in key
+// order and the separators between them. A single-key update overfills a
+// node by one (two parts, like splitNode); a batched update can overfill it
+// by an entire batch, so the part count is unbounded. For leaves each
+// separator is the first key of the part to its right; for interior nodes
+// the separators move up to the parent.
+func splitNodeMany(n *Node, maxKeys int) (parts []*Node, seps []wire.Key) {
+	k := len(n.Keys)
+	var m int // part count
+	if n.IsLeaf() {
+		m = (k + maxKeys - 1) / maxKeys
+	} else {
+		// m parts absorb m-1 separators: partition k-(m-1) keys.
+		m = (k + 1 + maxKeys) / (maxKeys + 1)
+	}
+	if m < 2 {
+		m = 2 // callers only split over-full nodes
+	}
+	parts = make([]*Node, 0, m)
+	seps = make([]wire.Key, 0, m-1)
+	start := 0
+	low := n.Low
+	for i := 0; i < m; i++ {
+		r := m - i // parts still to emit
+		avail := k - start
+		if !n.IsLeaf() {
+			avail -= r - 1 // keys that will become separators
+		}
+		size := (avail + r - 1) / r
+		end := start + size
+		p := &Node{Tree: n.Tree, Height: n.Height, Created: n.Created, Copied: NoSnap, Low: low, High: n.High}
+		p.Keys = append([]wire.Key(nil), n.Keys[start:end]...)
+		if n.IsLeaf() {
+			p.Vals = append([][]byte(nil), n.Vals[start:end]...)
+			if i < m-1 {
+				sep := n.Keys[end]
+				seps = append(seps, sep)
+				p.High = wire.FenceAt(sep)
+				low = wire.FenceAt(sep)
+			}
+			start = end
+		} else {
+			p.Kids = append([]Ptr(nil), n.Kids[start:end+1]...)
+			if i < m-1 {
+				sep := n.Keys[end]
+				seps = append(seps, sep)
+				p.High = wire.FenceAt(sep)
+				low = wire.FenceAt(sep)
+			}
+			start = end + 1
+		}
+		parts = append(parts, p)
+	}
+	return parts, seps
+}
+
 // applyUpdate installs newContent as the updated image of path[level],
 // performing copy-on-write when the node belongs to an earlier snapshot and
 // splitting when it overflows, then propagates pointer changes to the
@@ -121,45 +178,56 @@ func (bt *BTree) applyUpdate(t *dyntx.Txn, sid uint64, path []pathEntry, level i
 		return bt.replaceChild(t, sid, path, level, e.ptr, copyPtr, nil)
 	}
 
-	// Split. Both halves belong to snapshot sid.
-	left, right, sep := splitNode(newContent)
-	left.Created, right.Created = sid, sid
-	bt.splits.Add(1)
-
-	rightPtr, err := bt.allocNode(t)
-	if err != nil {
-		return err
+	// Split. A single-key update produces two parts; a batched update may
+	// overfill the node by a whole batch and produce many. All parts belong
+	// to snapshot sid.
+	parts, seps := splitNodeMany(newContent, maxKeys)
+	for _, p := range parts {
+		p.Created = sid
+		p.Copied = NoSnap
+		p.Redirects = nil
 	}
+	bt.splits.Add(int64(len(parts) - 1))
+
 	var leftPtr Ptr
+	var err error
 	if inPlace {
-		// The left half overwrites the node in place; its key range
+		// The leftmost part overwrites the node in place; its key range
 		// shrinks, so any concurrent traversal into the moved range fails
 		// its fence check and retries.
 		leftPtr = e.ptr
-		bt.writeNodeBack(t, e, left, inReadSet)
+		bt.writeNodeBack(t, e, parts[0], inReadSet)
 	} else {
 		leftPtr, err = bt.allocNodeOn(t, e.ptr.Node)
 		if err != nil {
 			return err
 		}
-		bt.writeNewNode(t, leftPtr, left)
+		bt.writeNewNode(t, leftPtr, parts[0])
 		if err := bt.markCopied(t, e, sid, leftPtr, inReadSet); err != nil {
 			return err
 		}
 		bt.copies.Add(1)
 	}
-	bt.writeNewNode(t, rightPtr, right)
-	return bt.replaceChild(t, sid, path, level, e.ptr, leftPtr, &sepInsert{key: sep, right: rightPtr})
+	ins := make([]sepInsert, len(seps))
+	for i, part := range parts[1:] {
+		p, err := bt.allocNode(t)
+		if err != nil {
+			return err
+		}
+		bt.writeNewNode(t, p, part)
+		ins[i] = sepInsert{key: seps[i], right: p}
+	}
+	return bt.replaceChild(t, sid, path, level, e.ptr, leftPtr, ins)
 }
 
 // replaceChild updates the parent of path[level] so that its child slot
-// pointing at oldPtr points at newPtr, optionally inserting a separator
-// produced by a split. At the root it grows the tree by one level and
-// updates the (replicated) root location.
-func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level int, oldPtr, newPtr Ptr, ins *sepInsert) error {
+// pointing at oldPtr points at newPtr, inserting any separators produced by
+// a split. At the root it grows the tree (by as many levels as the
+// separators require) and updates the (replicated) root location.
+func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level int, oldPtr, newPtr Ptr, ins []sepInsert) error {
 	if level == 0 {
 		root := path[0]
-		if ins == nil {
+		if len(ins) == 0 {
 			if newPtr == oldPtr {
 				return nil
 			}
@@ -169,22 +237,7 @@ func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level 
 			bt.invalidateTip()
 			return dyntx.ErrRetry
 		}
-		newRoot := &Node{
-			Tree:    root.node.Tree,
-			Height:  root.node.Height + 1,
-			Created: sid,
-			Copied:  NoSnap,
-			Low:     wire.NegInf,
-			High:    wire.PosInf,
-			Keys:    []wire.Key{ins.key},
-			Kids:    []Ptr{newPtr, ins.right},
-		}
-		rootPtr, err := bt.allocNode(t)
-		if err != nil {
-			return err
-		}
-		bt.writeNewNode(t, rootPtr, newRoot)
-		return bt.writeRootLocation(t, sid, rootPtr)
+		return bt.growRoot(t, sid, root.node, newPtr, ins)
 	}
 
 	parent := path[level-1]
@@ -196,17 +249,88 @@ func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level 
 		return dyntx.ErrRetry
 	}
 	pw.Kids[i] = newPtr
-	if ins != nil {
-		pw.Keys = append(pw.Keys, nil)
-		copy(pw.Keys[i+1:], pw.Keys[i:])
-		pw.Keys[i] = ins.key
-		pw.Kids = append(pw.Kids, Ptr{})
-		copy(pw.Kids[i+2:], pw.Kids[i+1:])
-		pw.Kids[i+1] = ins.right
+	if len(ins) > 0 {
+		keys := make([]wire.Key, 0, len(pw.Keys)+len(ins))
+		keys = append(keys, pw.Keys[:i]...)
+		for _, s := range ins {
+			keys = append(keys, s.key)
+		}
+		keys = append(keys, pw.Keys[i:]...)
+		kids := make([]Ptr, 0, len(pw.Kids)+len(ins))
+		kids = append(kids, pw.Kids[:i+1]...)
+		for _, s := range ins {
+			kids = append(kids, s.right)
+		}
+		kids = append(kids, pw.Kids[i+1:]...)
+		pw.Keys, pw.Kids = keys, kids
 	} else if newPtr == oldPtr {
 		return nil
 	}
 	return bt.applyUpdate(t, sid, path, level-1, pw)
+}
+
+// growRoot grows the tree after a root split: newPtr plus the split's new
+// right siblings become children of a freshly allocated root. A batched
+// update can split the root into more parts than one interior node may
+// hold, in which case whole levels are built bottom-up until a single root
+// fits.
+func (bt *BTree) growRoot(t *dyntx.Txn, sid uint64, oldRoot *Node, newPtr Ptr, ins []sepInsert) error {
+	keys := make([]wire.Key, 0, len(ins))
+	kids := make([]Ptr, 0, len(ins)+1)
+	kids = append(kids, newPtr)
+	for _, s := range ins {
+		keys = append(keys, s.key)
+		kids = append(kids, s.right)
+	}
+	height := oldRoot.Height + 1
+	for len(keys) > bt.cfg.MaxInnerKeys {
+		// Build one full interior level over kids, then go around again.
+		k := len(keys)
+		m := (k + 1 + bt.cfg.MaxInnerKeys) / (bt.cfg.MaxInnerKeys + 1)
+		upKeys := make([]wire.Key, 0, m-1)
+		upKids := make([]Ptr, 0, m)
+		start := 0
+		for i := 0; i < m; i++ {
+			r := m - i
+			avail := k - start - (r - 1)
+			size := (avail + r - 1) / r
+			end := start + size
+			low, high := wire.NegInf, wire.PosInf
+			if start > 0 {
+				low = wire.FenceAt(keys[start-1])
+			}
+			if i < m-1 {
+				high = wire.FenceAt(keys[end])
+			}
+			p, err := bt.allocNode(t)
+			if err != nil {
+				return err
+			}
+			bt.writeNewNode(t, p, &Node{
+				Tree: oldRoot.Tree, Height: height, Created: sid, Copied: NoSnap,
+				Low: low, High: high,
+				Keys: append([]wire.Key(nil), keys[start:end]...),
+				Kids: append([]Ptr(nil), kids[start:end+1]...),
+			})
+			upKids = append(upKids, p)
+			if i < m-1 {
+				upKeys = append(upKeys, keys[end])
+			}
+			start = end + 1
+		}
+		keys, kids = upKeys, upKids
+		height++
+	}
+	rootPtr, err := bt.allocNode(t)
+	if err != nil {
+		return err
+	}
+	bt.writeNewNode(t, rootPtr, &Node{
+		Tree: oldRoot.Tree, Height: height, Created: sid, Copied: NoSnap,
+		Low: wire.NegInf, High: wire.PosInf,
+		Keys: keys, Kids: kids,
+	})
+	return bt.writeRootLocation(t, sid, rootPtr)
 }
 
 // writeRootLocation records a new root for the tip: in linear mode the

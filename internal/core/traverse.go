@@ -67,7 +67,12 @@ func (bt *BTree) loadInner(t *dyntx.Txn, p Ptr) (*Node, uint64, error) {
 		return nil, 0, dyntx.ErrRetry
 	}
 	seqVer := objs[1].Version
-	t.InjectRead(seqRef, seqVer, nil, objs[1].Exists)
+	if _, shadowed := t.PendingWrite(seqRef); !shadowed {
+		// Don't validate a seq entry this transaction has itself written
+		// (the shadowed read reports version 0, which is not the entry's
+		// memnode version): the pending blind write supersedes it.
+		t.InjectRead(seqRef, seqVer, nil, objs[1].Exists)
+	}
 	if bt.cache != nil && objs[0].Version > 0 && !n.IsLeaf() {
 		bt.cache.put(p, cacheEntry{node: n, version: objs[0].Version, seqVer: seqVer})
 	}

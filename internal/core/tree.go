@@ -73,6 +73,7 @@ func (c *Config) FillDefaults() {
 type Stats struct {
 	Ops        int64 // committed B-tree operations
 	Retries    int64 // optimistic retries (validation failures, fence aborts)
+	Roundtrips int64 // minitransactions issued by this handle's transactions
 	CacheHits  int64
 	CacheMiss  int64
 	Splits     int64
@@ -110,6 +111,7 @@ type BTree struct {
 
 	ops        atomic.Int64
 	retries    atomic.Int64
+	rts        atomic.Int64
 	splits     atomic.Int64
 	copies     atomic.Int64
 	discretion atomic.Int64
@@ -252,6 +254,7 @@ func (bt *BTree) Stats() Stats {
 	s := Stats{
 		Ops:        bt.ops.Load(),
 		Retries:    bt.retries.Load(),
+		Roundtrips: bt.rts.Load(),
 		Splits:     bt.splits.Load(),
 		CopyOnWr:   bt.copies.Load(),
 		Discretion: bt.discretion.Load(),
@@ -389,10 +392,12 @@ func (bt *BTree) run(fn func(t *dyntx.Txn) error) error {
 		if err == nil {
 			if err = t.Commit(); err == nil {
 				bt.ops.Add(1)
+				bt.rts.Add(int64(t.Roundtrips))
 				return nil
 			}
 		}
 		// The attempt did not commit: return any blocks it reserved.
+		bt.rts.Add(int64(t.Roundtrips))
 		t.Discard()
 		if dyntx.IsStale(err) || errors.Is(err, dyntx.ErrRetry) || errors.Is(err, dyntx.ErrAborted) {
 			bt.handleStale(err)

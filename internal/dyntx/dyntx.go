@@ -245,25 +245,126 @@ func (t *Txn) DirtyRead(ref Ref) (Obj, error) {
 // DirtyReadMany fetches several objects on the same memnode in a single
 // minitransaction, without touching the read set. Used by the legacy
 // traversal mode to fetch a node image together with its replicated
-// sequence-number entry in one round trip.
+// sequence-number entry in one round trip. Like DirtyRead, the write set
+// shadows each ref so a transaction observes its own buffered writes
+// (multi-operation assemblers re-traverse structures they just rewrote).
 func (t *Txn) DirtyReadMany(refs []Ref) ([]Obj, error) {
 	if t.aborted {
 		return nil, ErrAborted
 	}
+	out := make([]Obj, len(refs))
 	m := &sinfonia.Minitx{}
-	for _, r := range refs {
+	fetchIdx := make([]int, 0, len(refs))
+	for i, r := range refs {
+		if w, ok := t.writes[r.key()]; ok {
+			out[i] = Obj{Data: w.data, Version: 0, Exists: true}
+			continue
+		}
+		fetchIdx = append(fetchIdx, i)
 		m.Reads = append(m.Reads, sinfonia.ReadItem{Node: r.Ptr.Node, Addr: r.Ptr.Addr})
+	}
+	if len(m.Reads) == 0 {
+		return out, nil
 	}
 	res, err := t.c.Exec(m)
 	t.Roundtrips++
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Obj, len(refs))
-	for i, r := range res.Reads {
-		out[i] = Obj{Data: r.Data, Version: r.Version, Exists: r.Exists}
+	for j, r := range res.Reads {
+		out[fetchIdx[j]] = Obj{Data: r.Data, Version: r.Version, Exists: r.Exists}
 	}
 	return out, nil
+}
+
+// ReadBatch performs transactional reads of many objects at once: refs are
+// grouped by memnode, fetched with one minitransaction per memnode executed
+// concurrently (Client.ExecIndependent), and every fetched object joins the
+// read set for commit-time validation. The per-node minitransactions are
+// separate linearization points — the commit's validation of every observed
+// version is what makes the whole set atomic, exactly as for single reads.
+//
+// Objects already in the write or read set are served from there (and not
+// refetched), so ReadBatch is also safe to use as a prefetch. Results are
+// parallel to refs.
+func (t *Txn) ReadBatch(refs []Ref) ([]Obj, error) {
+	if t.aborted {
+		return nil, ErrAborted
+	}
+	out := make([]Obj, len(refs))
+	byNode := make(map[sinfonia.NodeID]*sinfonia.Minitx)
+	var nodeOrder []sinfonia.NodeID
+	type fetchPos struct {
+		node sinfonia.NodeID
+		idx  int // position within the node's Reads
+	}
+	fetches := make(map[int]fetchPos) // refs index -> where its read went
+	for i, ref := range refs {
+		k := ref.key()
+		if w, ok := t.writes[k]; ok {
+			out[i] = Obj{Data: w.data, Version: 0, Exists: true}
+			continue
+		}
+		if re, ok := t.reads[k]; ok {
+			out[i] = Obj{Data: re.data, Version: re.version, Exists: re.exists}
+			continue
+		}
+		node := ref.Ptr.Node
+		m := byNode[node]
+		if m == nil {
+			m = &sinfonia.Minitx{}
+			byNode[node] = m
+			nodeOrder = append(nodeOrder, node)
+		}
+		fetches[i] = fetchPos{node: node, idx: len(m.Reads)}
+		m.Reads = append(m.Reads, sinfonia.ReadItem{Node: node, Addr: ref.Ptr.Addr})
+	}
+	if len(nodeOrder) == 0 {
+		return out, nil
+	}
+	ms := make([]*sinfonia.Minitx, len(nodeOrder))
+	for i, n := range nodeOrder {
+		ms[i] = byNode[n]
+	}
+	results, err := t.c.ExecIndependent(ms)
+	t.Roundtrips += len(ms)
+	if err != nil {
+		return nil, err
+	}
+	byNodeRes := make(map[sinfonia.NodeID]*sinfonia.Result, len(nodeOrder))
+	for i, n := range nodeOrder {
+		byNodeRes[n] = results[i]
+	}
+	for i, ref := range refs {
+		pos, ok := fetches[i]
+		if !ok {
+			continue
+		}
+		r := byNodeRes[pos.node].Reads[pos.idx]
+		k := ref.key()
+		if re, dup := t.reads[k]; dup {
+			// Duplicate ref within the batch: keep the first observation.
+			out[i] = Obj{Data: re.data, Version: re.version, Exists: re.exists}
+			continue
+		}
+		e := &readEntry{ref: ref, node: ref.Ptr.Node, version: r.Version, data: r.Data, exists: r.Exists}
+		t.reads[k] = e
+		t.readOrder = append(t.readOrder, e)
+		out[i] = Obj{Data: r.Data, Version: r.Version, Exists: r.Exists}
+	}
+	t.validated = false
+	return out, nil
+}
+
+// PendingWrite returns the data buffered in the write set for ref, if any.
+// Multi-operation assemblers use it to observe their own structural updates
+// (e.g. a root location written earlier in the same transaction) without a
+// network fetch.
+func (t *Txn) PendingWrite(ref Ref) ([]byte, bool) {
+	if w, ok := t.writes[ref.key()]; ok {
+		return w.data, true
+	}
+	return nil, false
 }
 
 // InjectRead adds an entry to the read set from a proxy-side cache without

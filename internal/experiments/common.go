@@ -31,6 +31,7 @@ type Scale struct {
 	Duration          time.Duration // measurement window per point (paper: 60 s)
 	Latency           time.Duration // one-way network latency (paper: 10 GigE LAN)
 	ScanLength        int           // keys per scan (paper: 1 M)
+	LoadBatch         int           // records per atomic batch in load phases (≤1: single-key)
 }
 
 // Default is the standard laptop-scale configuration used by
@@ -128,6 +129,17 @@ func (db *minuetDB) Insert(key, val []byte) error {
 	return bt.Put(key, val)
 }
 
+// WriteBatch implements ycsb.BatchDB: batched load phases commit whole
+// groups of inserts in a handful of round trips.
+func (db *minuetDB) WriteBatch(keys, vals [][]byte) error {
+	_, bt := db.pick()
+	ops := make([]core.BatchOp, len(keys))
+	for i := range keys {
+		ops[i] = core.BatchOp{Key: keys[i], Val: vals[i]}
+	}
+	return bt.ApplyBatch(ops)
+}
+
 func (db *minuetDB) Scan(start []byte, count int) error {
 	i, bt := db.pick()
 	if !db.SnapshotScans {
@@ -171,9 +183,10 @@ func newCDB(sc Scale, machines, tables int) *cdb.DB {
 	})
 }
 
-// loadDB bulk-loads n records with enough parallelism to finish quickly.
-func loadDB(db ycsb.DB, n uint64, threads int) error {
-	return ycsb.Load(db, 0, n, threads)
+// loadDB bulk-loads n records with enough parallelism to finish quickly,
+// batching inserts when the scale (and the DB) support it.
+func loadDB(sc Scale, db ycsb.DB, n uint64, threads int) error {
+	return ycsb.LoadBatched(db, 0, n, threads, sc.LoadBatch)
 }
 
 // updaterPool runs continuous single-key updates until stop is closed,

@@ -19,6 +19,9 @@ func microScale() Scale {
 }
 
 func TestFig10ShapeAndRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	rows, err := Fig10(sc, nil)
 	if err != nil {
@@ -35,6 +38,9 @@ func TestFig10ShapeAndRows(t *testing.T) {
 }
 
 func TestFig12RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	sc.Machines = []int{1}
 	rows, err := Fig12(sc, nil)
@@ -52,6 +58,9 @@ func TestFig12RowsComplete(t *testing.T) {
 }
 
 func TestFig13MinuetBeatsCDB(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	sc.Machines = []int{2}
 	rows, err := Fig13(sc, nil)
@@ -72,6 +81,9 @@ func TestFig13MinuetBeatsCDB(t *testing.T) {
 }
 
 func TestFig14SeriesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	res, err := Fig14(sc, nil)
 	if err != nil {
@@ -92,6 +104,9 @@ func TestFig14SeriesShape(t *testing.T) {
 }
 
 func TestFig15RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	rows, err := Fig15(sc, nil)
 	if err != nil {
@@ -103,6 +118,9 @@ func TestFig15RowsComplete(t *testing.T) {
 }
 
 func TestFig17NoScansIsCeiling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	sc.Machines = []int{2}
 	rows, err := Fig17(sc, nil)
@@ -127,6 +145,9 @@ func TestFig17NoScansIsCeiling(t *testing.T) {
 }
 
 func TestFig18RowsComplete(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure experiments are wall-clock perf comparisons; meaningless under -short/-race")
+	}
 	sc := microScale()
 	rows, err := Fig18(sc, nil)
 	if err != nil {

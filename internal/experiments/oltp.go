@@ -48,12 +48,13 @@ func Fig10(sc Scale, w io.Writer) ([]Fig10Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cl.Close()
 			db, err := newMinuetDB(cl, 0)
 			if err != nil {
 				return nil, err
 			}
 			seed := uint64(sc.ThreadsPerMachine * m * 64)
-			if err := loadDB(db, seed, 2*m); err != nil {
+			if err := loadDB(sc, db, seed, 2*m); err != nil {
 				return nil, err
 			}
 			runner := &ycsb.Runner{
@@ -72,6 +73,7 @@ func Fig10(sc Scale, w io.Writer) ([]Fig10Row, error) {
 			}
 			per[i] = row
 			rows = append(rows, row)
+			cl.Close()
 		}
 		fprintf(w, "%-9d %-18.1f %-18.1f\n", m, per[0].Throughput/1000, per[1].Throughput/1000)
 	}
@@ -113,11 +115,12 @@ func Fig11(sc Scale, w io.Writer) ([]Fig11Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cl.Close()
 		db, err := newMinuetDB(cl, 0)
 		if err != nil {
 			return nil, err
 		}
-		if err := loadDB(db, sc.Preload, 4*machines); err != nil {
+		if err := loadDB(sc, db, sc.Preload, 4*machines); err != nil {
 			return nil, err
 		}
 		peak := (&ycsb.Runner{DB: db, W: workload, Threads: sc.ThreadsPerMachine * machines, Seed: 2}).Run(sc.Duration).Throughput
@@ -145,7 +148,7 @@ func Fig11(sc Scale, w io.Writer) ([]Fig11Row, error) {
 		db := newCDB(sc, machines, 1)
 		defer db.Stop()
 		adapter := &cdbDB{db: db}
-		if err := loadDB(adapter, sc.Preload, 8*machines); err != nil {
+		if err := loadDB(sc, adapter, sc.Preload, 8*machines); err != nil {
 			return nil, err
 		}
 		threads := 8 * sc.ThreadsPerMachine * machines
@@ -196,16 +199,17 @@ func Fig12(sc Scale, w io.Writer) ([]Fig12Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cl.Close()
 		mdb, err := newMinuetDB(cl, 0)
 		if err != nil {
 			return nil, err
 		}
-		if err := loadDB(mdb, sc.Preload, 4*m); err != nil {
+		if err := loadDB(sc, mdb, sc.Preload, 4*m); err != nil {
 			return nil, err
 		}
 		cdbase := newCDB(sc, m, 1)
 		cadapter := &cdbDB{db: cdbase}
-		if err := loadDB(cadapter, sc.Preload, 8*m); err != nil {
+		if err := loadDB(sc, cadapter, sc.Preload, 8*m); err != nil {
 			return nil, err
 		}
 		for _, op := range ops {
@@ -220,6 +224,7 @@ func Fig12(sc Scale, w io.Writer) ([]Fig12Row, error) {
 			fprintf(w, "%-9d %-9s %-12.1f %-12.1f\n", m, op.name, mres.Throughput/1000, cres.Throughput/1000)
 		}
 		cdbase.Stop()
+		cl.Close()
 	}
 	return rows, nil
 }
@@ -265,6 +270,7 @@ func Fig13(sc Scale, w io.Writer) ([]Fig13Row, error) {
 		if err != nil {
 			return nil, err
 		}
+		defer cl.Close()
 		mdbA, err := newMinuetDB(cl, 0)
 		if err != nil {
 			return nil, err
@@ -273,17 +279,17 @@ func Fig13(sc Scale, w io.Writer) ([]Fig13Row, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := loadDB(mdbA, records, 4*m); err != nil {
+		if err := loadDB(sc, mdbA, records, 4*m); err != nil {
 			return nil, err
 		}
-		if err := loadDB(mdbB, records, 4*m); err != nil {
+		if err := loadDB(sc, mdbB, records, 4*m); err != nil {
 			return nil, err
 		}
 
 		// CDB: two tables.
 		cdbase := newCDB(sc, m, 2)
 		for tbl := 0; tbl < 2; tbl++ {
-			if err := loadDB(&cdbDB{db: cdbase, tbl: tbl}, records, 8*m); err != nil {
+			if err := loadDB(sc, &cdbDB{db: cdbase, tbl: tbl}, records, 8*m); err != nil {
 				return nil, err
 			}
 		}
@@ -298,6 +304,7 @@ func Fig13(sc Scale, w io.Writer) ([]Fig13Row, error) {
 			fprintf(w, "%-9d %-9s %-12.1f %-12.1f\n", m, names[kind], mtp/1000, ctp/1000)
 		}
 		cdbase.Stop()
+		cl.Close()
 	}
 	return rows, nil
 }

@@ -28,11 +28,12 @@ func Fig14(sc Scale, w io.Writer) (*Fig14Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	defer cl.Close()
 	db, err := newMinuetDB(cl, 0)
 	if err != nil {
 		return nil, err
 	}
-	if err := loadDB(db, sc.Preload, 4*machines); err != nil {
+	if err := loadDB(sc, db, sc.Preload, 4*machines); err != nil {
 		return nil, err
 	}
 
@@ -116,11 +117,12 @@ func Fig15(sc Scale, w io.Writer) ([]Fig15Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			defer cl.Close()
 			db, err := newMinuetDB(cl, 0)
 			if err != nil {
 				return nil, err
 			}
-			if err := loadDB(db, sc.Preload, 4*machines); err != nil {
+			if err := loadDB(sc, db, sc.Preload, 4*machines); err != nil {
 				return nil, err
 			}
 			cl.SCS(0).AllowBorrow = borrow
@@ -281,11 +283,12 @@ func scansWithUpdates(sc Scale, machines int, k time.Duration, scanLen int, want
 	if err != nil {
 		return 0, 0, err
 	}
+	defer cl.Close()
 	db, err := newMinuetDB(cl, 0)
 	if err != nil {
 		return 0, 0, err
 	}
-	if err := loadDB(db, sc.Preload, 4*machines); err != nil {
+	if err := loadDB(sc, db, sc.Preload, 4*machines); err != nil {
 		return 0, 0, err
 	}
 	cl.SCS(0).MinInterval = k
@@ -339,11 +342,12 @@ func updatesWithScans(sc Scale, machines int, k time.Duration, scanLen int) (flo
 	if err != nil {
 		return 0, err
 	}
+	defer cl.Close()
 	db, err := newMinuetDB(cl, 0)
 	if err != nil {
 		return 0, err
 	}
-	if err := loadDB(db, sc.Preload, 4*machines); err != nil {
+	if err := loadDB(sc, db, sc.Preload, 4*machines); err != nil {
 		return 0, err
 	}
 	total := machines * sc.ThreadsPerMachine
@@ -404,11 +408,12 @@ func scanLatency(sc Scale, machines int, k time.Duration, scanLen int, withUpdat
 	if err != nil {
 		return 0, err
 	}
+	defer cl.Close()
 	db, err := newMinuetDB(cl, 0)
 	if err != nil {
 		return 0, err
 	}
-	if err := loadDB(db, sc.Preload, 4*machines); err != nil {
+	if err := loadDB(sc, db, sc.Preload, 4*machines); err != nil {
 		return 0, err
 	}
 	cl.SCS(0).MinInterval = k

@@ -62,9 +62,24 @@ type Local struct {
 	handlers map[NodeID]Handler
 	down     map[NodeID]bool
 
+	// Per-node liveness bookkeeping lives outside the mutex so the RPC hot
+	// path stays read-locked: inflight counts handlers currently running,
+	// crashes is an epoch bumped on each SetDown(id, true).
+	liveness sync.Map // NodeID -> *nodeLiveness
+
 	calls   atomic.Int64
 	errs    atomic.Int64
 	perNode sync.Map // NodeID -> *atomic.Int64
+}
+
+type nodeLiveness struct {
+	inflight atomic.Int64
+	crashes  atomic.Uint64
+}
+
+func (l *Local) livenessOf(id NodeID) *nodeLiveness {
+	v, _ := l.liveness.LoadOrStore(id, new(nodeLiveness))
+	return v.(*nodeLiveness)
 }
 
 // NewLocal returns a Local transport with the given one-way latency.
@@ -86,11 +101,17 @@ func (l *Local) Bind(id NodeID, h Handler) {
 	l.handlers[id] = h
 }
 
-// SetDown marks a node unreachable (true) or reachable (false).
+// SetDown marks a node unreachable (true) or reachable (false). Taking a
+// node down also invalidates every in-flight call to it: their responses are
+// dropped even if the node later comes back, because the process that was
+// computing them is gone.
 func (l *Local) SetDown(id NodeID, down bool) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
+	if down && !l.down[id] {
+		l.livenessOf(id).crashes.Add(1)
+	}
 	l.down[id] = down
+	l.mu.Unlock()
 }
 
 // SetLatency changes the injected one-way latency.
@@ -103,16 +124,31 @@ func (l *Local) Latency() time.Duration { return time.Duration(l.oneWay.Load()) 
 // handler runs (request propagation) and again after it returns (response
 // propagation), so lock-hold windows inside 2-phase commits span a realistic
 // number of network delays.
+//
+// Fail-stop semantics: a node marked down rejects new requests, and a
+// response computed by a handler that was running when the node went down is
+// dropped (the caller sees ErrUnreachable) — a crashed process cannot answer.
+// Without the exit-time check, a write acknowledged "from beyond the grave"
+// could be counted by the client yet miss the promoted backup.
 func (l *Local) Call(to NodeID, req any) (any, error) {
 	l.calls.Add(1)
 	c, _ := l.perNode.LoadOrStore(to, new(atomic.Int64))
 	c.(*atomic.Int64).Add(1)
 
+	// Snapshot the crash epoch BEFORE the liveness check: a crash that
+	// sneaks in after the check must flip the epoch relative to this load
+	// so the exit check drops the zombie response. (Loading after the
+	// check would open a window where a crash between check and load goes
+	// unnoticed and a handler of the dead node gets its answer through.)
+	lv := l.livenessOf(to)
+	epoch := lv.crashes.Load()
+	lv.inflight.Add(1)
 	l.mu.RLock()
 	h := l.handlers[to]
 	isDown := l.down[to]
 	l.mu.RUnlock()
 	if h == nil || isDown {
+		lv.inflight.Add(-1)
 		l.errs.Add(1)
 		return nil, fmt.Errorf("%w: node %d", ErrUnreachable, to)
 	}
@@ -120,10 +156,28 @@ func (l *Local) Call(to NodeID, req any) (any, error) {
 	Delay(time.Duration(l.oneWay.Load()))
 	resp, err := h.HandleRPC(req)
 	Delay(time.Duration(l.oneWay.Load()))
+
+	lv.inflight.Add(-1)
+	if lv.crashes.Load() != epoch {
+		l.errs.Add(1)
+		return nil, fmt.Errorf("%w: node %d (crashed mid-call)", ErrUnreachable, to)
+	}
 	if err != nil {
 		l.errs.Add(1)
 	}
 	return resp, err
+}
+
+// Quiesce blocks until no handler is running on the given node. Used by
+// fail-over: after SetDown(id, true), Quiesce(id) guarantees that every
+// in-flight request on the crashed node has finished (including any
+// synchronous replication it performs), so a backup promoted afterwards has
+// seen everything the dead primary will ever send.
+func (l *Local) Quiesce(id NodeID) {
+	lv := l.livenessOf(id)
+	for lv.inflight.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
 }
 
 // Delay blocks for d with microsecond-level accuracy. Plain time.Sleep

@@ -33,6 +33,8 @@ func init() {
 	gob.Register(&sinfonia.AbortReq{})
 	gob.Register(&sinfonia.Ack{})
 	gob.Register(&sinfonia.ReplicaApplyReq{})
+	gob.Register(&sinfonia.ReplicaStageReq{})
+	gob.Register(&sinfonia.ReplicaResolveReq{})
 	gob.Register(&sinfonia.ScanReq{})
 	gob.Register(&sinfonia.ScanResp{})
 	gob.Register(&sinfonia.SnapshotStateReq{})

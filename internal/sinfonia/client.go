@@ -282,6 +282,42 @@ func (c *Client) call(node NodeID, req any) (*ExecResp, error) {
 	return er, nil
 }
 
+// ExecIndependent executes several minitransactions concurrently, one call
+// slot per minitransaction, and returns their results in order. The
+// minitransactions are independent — there is NO atomicity across them; each
+// commits (or fails) on its own. Callers use it to pipeline single-memnode
+// fetches across the cluster: a batched read that would otherwise be N
+// sequential round trips completes in roughly one.
+func (c *Client) ExecIndependent(ms []*Minitx) ([]*Result, error) {
+	if len(ms) == 0 {
+		return nil, nil
+	}
+	if len(ms) == 1 {
+		res, err := c.Exec(ms[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*Result{res}, nil
+	}
+	results := make([]*Result, len(ms))
+	errs := make([]error, len(ms))
+	var wg sync.WaitGroup
+	for i, m := range ms {
+		wg.Add(1)
+		go func(i int, m *Minitx) {
+			defer wg.Done()
+			results[i], errs[i] = c.Exec(m)
+		}(i, m)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
 // Read is a convenience wrapper: a minitransaction containing a single read.
 func (c *Client) Read(p Ptr) (ReadResult, error) {
 	res, err := c.Exec(&Minitx{Reads: []ReadItem{{Node: p.Node, Addr: p.Addr}}})

@@ -30,11 +30,11 @@ type Memnode struct {
 	outcomes *outcomeLog        // resolved distributed txns (recovery fencing)
 
 	// Replication. When backup is set, every committed batch of writes is
-	// forwarded (in commit order) to the backup memnode.
+	// forwarded to the backup memnode with explicit per-item versions, so
+	// the backup converges under a version guard whatever the arrival order.
 	transport netsim.Transport
 	backup    NodeID
 	hasBackup bool
-	repSeq    uint64
 
 	// replicas holds mirrored state for primaries this node backs up,
 	// keyed by primary node id.
@@ -86,10 +86,16 @@ func (o *outcomeLog) get(txid uint64) (uint8, bool) {
 	return s, ok
 }
 
+// replicaStore mirrors one primary's state: its committed items and its
+// prepared-but-unresolved (staged) distributed transactions. Committed
+// applies carry explicit per-item versions, so they are applied immediately
+// under a per-address version guard — arrival order does not matter, and an
+// acknowledged apply is always reflected in the mirror (a sequence-gap
+// parking scheme would silently hold acked writes hostage to a batch that
+// may never arrive, losing them at promotion).
 type replicaStore struct {
-	nextSeq uint64
-	pending map[uint64]*ReplicaApplyReq
-	items   map[Addr]*item
+	items  map[Addr]*item
+	staged map[uint64]*staged
 }
 
 // NewMemnode creates a memnode with the given identity.
@@ -132,6 +138,12 @@ func (m *Memnode) HandleRPC(req any) (any, error) {
 		return &Ack{}, nil
 	case *ReplicaApplyReq:
 		m.replicaApply(r)
+		return &Ack{}, nil
+	case *ReplicaStageReq:
+		m.replicaStage(r)
+		return &Ack{}, nil
+	case *ReplicaResolveReq:
+		m.replicaResolve(r)
 		return &Ack{}, nil
 	case *ScanReq:
 		return m.scan(r), nil
@@ -254,8 +266,7 @@ func (m *Memnode) applyWrites(wr []WriteItem) *ReplicaApplyReq {
 	}
 	var rep *ReplicaApplyReq
 	if m.hasBackup {
-		m.repSeq++
-		rep = &ReplicaApplyReq{From: m.id, Seq: m.repSeq}
+		rep = &ReplicaApplyReq{From: m.id}
 	}
 	for i := range wr {
 		it := m.items[wr[i].Addr]
@@ -276,9 +287,11 @@ func (m *Memnode) applyWrites(wr []WriteItem) *ReplicaApplyReq {
 	return rep
 }
 
-// forwardToBackup sends a committed batch to the backup synchronously. The
-// mutex must NOT be held: replica applies are ordered by Seq, so concurrent
-// sends cannot reorder state at the backup.
+// forwardToBackup sends a committed batch to the backup synchronously,
+// before the client sees the ack. The mutex must NOT be held (backups form
+// a ring; holding it while calling out could deadlock): concurrent sends
+// may arrive in any order, which the backup's per-address version guard
+// makes harmless.
 func (m *Memnode) forwardToBackup(rep *ReplicaApplyReq) {
 	if rep == nil || !m.hasBackup {
 		return
@@ -322,20 +335,22 @@ func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
 	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
 
 	m.mu.Lock()
-	defer m.mu.Unlock()
 
 	if r.Blocking {
 		deadline := time.Now().Add(time.Duration(r.WaitNanos))
 		if !m.waitUnlocked(addrs, r.Txid, deadline) {
 			m.busyAborts++
+			m.mu.Unlock()
 			return &ExecResp{Vote: voteBusy}
 		}
 	} else if m.anyLocked(addrs, r.Txid) {
 		m.busyAborts++
+		m.mu.Unlock()
 		return &ExecResp{Vote: voteBusy}
 	}
 	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
 		m.aborts++
+		m.mu.Unlock()
 		return &ExecResp{Vote: voteCompareFail, Failed: failed}
 	}
 	reads := m.doReads(r.Reads)
@@ -347,6 +362,22 @@ func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
 		addrs:        addrs,
 		participants: r.Participants,
 		preparedAt:   time.Now(),
+	}
+	hasBackup := m.hasBackup
+	m.mu.Unlock()
+
+	// Mirror the prepare to the backup BEFORE voting OK: once the vote is
+	// out, the coordinator may decide commit, and a commit decision should
+	// survive this node's crash. The mutex is released (replica calls are
+	// never made under it — backups form a ring). A failed mirror call is
+	// tolerated like any other backup failure (the paper masks them and
+	// re-syncs on recovery): the prepare survives only this node's death,
+	// not this node's death combined with an unreachable backup.
+	if hasBackup {
+		_, _ = m.transport.Call(m.backup, &ReplicaStageReq{
+			From: m.id, Txid: r.Txid,
+			Writes: r.Writes, Participants: r.Participants,
+		})
 	}
 	return &ExecResp{Vote: voteOK, Reads: reads}
 }
@@ -361,30 +392,46 @@ func (m *Memnode) commit(txid uint64) {
 	}
 	st, ok := m.staged[txid]
 	var rep *ReplicaApplyReq
+	resolveOnly := false
 	if ok {
 		rep = m.applyWrites(st.writes)
+		if rep != nil {
+			rep.Txid = txid
+		} else {
+			resolveOnly = m.hasBackup // nothing to write; still clear the mirror
+		}
 		m.release(txid, st)
 		m.outcomes.record(txid, TxnCommitted)
 	}
 	m.mu.Unlock()
 	m.forwardToBackup(rep)
+	if resolveOnly {
+		_, _ = m.transport.Call(m.backup, &ReplicaResolveReq{From: m.id, Txid: txid})
+	}
 }
 
 func (m *Memnode) abort(txid uint64) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	var hadStage bool
 	if status, resolved := m.outcomes.get(txid); resolved && status == TxnCommitted {
 		// Already committed (possibly by recovery); a late abort must not
 		// undo it — and cannot, since the staging entry is gone.
+		m.mu.Unlock()
 		return
 	}
 	if st, ok := m.staged[txid]; ok {
 		m.aborts++
 		m.release(txid, st)
+		hadStage = true
 	}
 	// Record the abort even when nothing is staged so that a late commit
 	// arriving after this abort is fenced out.
 	m.outcomes.record(txid, TxnAborted)
+	hasBackup := m.hasBackup
+	m.mu.Unlock()
+	if hadStage && hasBackup {
+		_, _ = m.transport.Call(m.backup, &ReplicaResolveReq{From: m.id, Txid: txid})
+	}
 }
 
 // inDoubt lists staged distributed transactions older than the requested
@@ -430,34 +477,59 @@ func (m *Memnode) release(txid uint64, st *staged) {
 	delete(m.staged, txid)
 }
 
+// replica returns (creating if needed) the mirror store for primary `from`.
+// Caller holds m.mu.
+func (m *Memnode) replica(from NodeID) *replicaStore {
+	rs := m.replicas[from]
+	if rs == nil {
+		rs = &replicaStore{items: make(map[Addr]*item), staged: make(map[uint64]*staged)}
+		m.replicas[from] = rs
+	}
+	return rs
+}
+
 func (m *Memnode) replicaApply(r *ReplicaApplyReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rs := m.replicas[r.From]
-	if rs == nil {
-		rs = &replicaStore{nextSeq: 1, pending: make(map[uint64]*ReplicaApplyReq), items: make(map[Addr]*item)}
-		m.replicas[r.From] = rs
+	rs := m.replica(r.From)
+	for i := range r.Addrs {
+		cur := rs.items[r.Addrs[i]]
+		if cur != nil && cur.version >= r.Versions[i] {
+			continue // already have this write or a newer one
+		}
+		d := make([]byte, len(r.Data[i]))
+		copy(d, r.Data[i])
+		rs.items[r.Addrs[i]] = &item{data: d, version: r.Versions[i]}
 	}
-	rs.pending[r.Seq] = r
-	// Apply all contiguous batches in order.
-	for {
-		b, ok := rs.pending[rs.nextSeq]
-		if !ok {
-			return
-		}
-		delete(rs.pending, rs.nextSeq)
-		rs.nextSeq++
-		for i := range b.Addrs {
-			d := make([]byte, len(b.Data[i]))
-			copy(d, b.Data[i])
-			rs.items[b.Addrs[i]] = &item{data: d, version: b.Versions[i]}
-		}
+	if r.Txid != 0 {
+		delete(rs.staged, r.Txid)
+	}
+}
+
+func (m *Memnode) replicaStage(r *ReplicaStageReq) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.replica(r.From)
+	rs.staged[r.Txid] = &staged{
+		writes:       r.Writes,
+		participants: r.Participants,
+		preparedAt:   time.Now(),
+	}
+}
+
+func (m *Memnode) replicaResolve(r *ReplicaResolveReq) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if rs := m.replicas[r.From]; rs != nil {
+		delete(rs.staged, r.Txid)
 	}
 }
 
 // PromoteReplica returns a new Memnode seeded with the mirrored state of the
-// given failed primary. Bind the returned node to the primary's NodeID to
-// complete fail-over.
+// given failed primary: its committed items plus its prepared-but-unresolved
+// distributed transactions (with their locks), so a phase-two commit or a
+// recovery-coordinator sweep arriving after fail-over still lands. Bind the
+// returned node to the primary's NodeID to complete fail-over.
 func (m *Memnode) PromoteReplica(primary NodeID) *Memnode {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -468,8 +540,39 @@ func (m *Memnode) PromoteReplica(primary NodeID) *Memnode {
 			copy(d, it.data)
 			nm.items[a] = &item{data: d, version: it.version}
 		}
+		for txid, st := range rs.staged {
+			addrs := touchedAddrs(nil, nil, st.writes)
+			nm.staged[txid] = &staged{
+				writes:       st.writes,
+				addrs:        addrs,
+				participants: append([]NodeID(nil), st.participants...),
+				preparedAt:   time.Now(),
+			}
+			for _, a := range addrs {
+				nm.locked[a] = txid
+			}
+		}
 	}
 	return nm
+}
+
+// SeedReplica merges a full state snapshot of `primary` into this node's
+// mirror under the per-address version guard, so concurrently arriving
+// replica applies are never regressed. Used when a promoted node takes over
+// backup duty for a primary whose previous mirror died with the old host.
+func (m *Memnode) SeedReplica(primary NodeID, addrs []Addr, data [][]byte, versions []uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.replica(primary)
+	for i := range addrs {
+		cur := rs.items[addrs[i]]
+		if cur != nil && cur.version >= versions[i] {
+			continue
+		}
+		d := make([]byte, len(data[i]))
+		copy(d, data[i])
+		rs.items[addrs[i]] = &item{data: d, version: versions[i]}
+	}
 }
 
 func (m *Memnode) scan(r *ScanReq) *ScanResp {

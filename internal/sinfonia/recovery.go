@@ -2,6 +2,7 @@ package sinfonia
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"minuet/internal/netsim"
@@ -69,16 +70,25 @@ type TxnStatusResp struct{ Status uint8 }
 type RecoveryCoordinator struct {
 	t     netsim.Transport
 	nodes []NodeID
-	// MinAge is how long a transaction must sit in-doubt before recovery
-	// touches it; it must comfortably exceed a healthy coordinator's
-	// phase-one-to-phase-two latency.
-	MinAge time.Duration
+	// minAge (nanoseconds) is how long a transaction must sit in-doubt
+	// before recovery touches it; it must comfortably exceed a healthy
+	// coordinator's phase-one-to-phase-two latency. Atomic because tests
+	// and operators adjust it while the background sweep loop runs.
+	minAge atomic.Int64
 }
 
 // NewRecoveryCoordinator returns a recovery coordinator over the cluster.
 func NewRecoveryCoordinator(t netsim.Transport, nodes []NodeID) *RecoveryCoordinator {
-	return &RecoveryCoordinator{t: t, nodes: append([]NodeID(nil), nodes...), MinAge: 100 * time.Millisecond}
+	rc := &RecoveryCoordinator{t: t, nodes: append([]NodeID(nil), nodes...)}
+	rc.minAge.Store(int64(100 * time.Millisecond))
+	return rc
 }
+
+// MinAge returns the in-doubt age threshold.
+func (rc *RecoveryCoordinator) MinAge() time.Duration { return time.Duration(rc.minAge.Load()) }
+
+// SetMinAge changes the in-doubt age threshold. Safe while Run is active.
+func (rc *RecoveryCoordinator) SetMinAge(d time.Duration) { rc.minAge.Store(int64(d)) }
 
 // SweepOnce scans every reachable memnode and resolves each in-doubt
 // transaction it finds. It returns how many transactions were committed
@@ -86,7 +96,7 @@ func NewRecoveryCoordinator(t netsim.Transport, nodes []NodeID) *RecoveryCoordin
 func (rc *RecoveryCoordinator) SweepOnce() (committed, aborted int, err error) {
 	seen := make(map[uint64][]NodeID)
 	for _, n := range rc.nodes {
-		resp, err := rc.t.Call(n, &InDoubtReq{MinAgeNanos: int64(rc.MinAge)})
+		resp, err := rc.t.Call(n, &InDoubtReq{MinAgeNanos: rc.minAge.Load()})
 		if err != nil {
 			continue // unreachable memnodes are swept next time
 		}

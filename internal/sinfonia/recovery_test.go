@@ -23,7 +23,7 @@ func TestRecoveryCommitsFullyPreparedTxn(t *testing.T) {
 	prepareAt(t, mns[1], 77, parts, WriteItem{Node: 1, Addr: 100, Data: []byte("b")})
 
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	committed, aborted, err := rc.SweepOnce()
 	if err != nil {
 		t.Fatal(err)
@@ -52,7 +52,7 @@ func TestRecoveryAbortsPartiallyPreparedTxn(t *testing.T) {
 	prepareAt(t, mns[0], 88, parts, WriteItem{Node: 0, Addr: 200, Data: []byte("half")})
 
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	committed, aborted, err := rc.SweepOnce()
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +81,7 @@ func TestRecoveryFinishesHalfCommittedTxn(t *testing.T) {
 	}
 
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	committed, aborted, err := rc.SweepOnce()
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +104,7 @@ func TestLateCommitAfterRecoveryAbortIsFenced(t *testing.T) {
 	prepareAt(t, mns[0], 111, parts, WriteItem{Node: 0, Addr: 400, Data: []byte("zombie")})
 	// Node 1 never prepared → recovery aborts.
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	if _, aborted, err := rc.SweepOnce(); err != nil || aborted != 1 {
 		t.Fatalf("sweep: aborted=%d err=%v", aborted, err)
 	}
@@ -126,7 +126,7 @@ func TestRecoveryRespectsMinAge(t *testing.T) {
 	prepareAt(t, mns[1], 121, parts, WriteItem{Node: 1, Addr: 500, Data: []byte("young")})
 
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = time.Hour // far above the txn's age
+	rc.SetMinAge(time.Hour) // far above the txn's age
 	committed, aborted, err := rc.SweepOnce()
 	if err != nil || committed != 0 || aborted != 0 {
 		t.Fatalf("young txn touched: %d/%d %v", committed, aborted, err)
@@ -147,7 +147,7 @@ func TestRecoveryLeavesTxnWithUnreachableParticipant(t *testing.T) {
 	tr.SetDown(1, true)
 
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	if _, _, err := rc.SweepOnce(); err == nil {
 		t.Fatal("sweep with an unreachable participant must report the stall")
 	}
@@ -176,7 +176,7 @@ func TestRecoveryBackgroundLoop(t *testing.T) {
 	prepareAt(t, mns[1], 141, parts, WriteItem{Node: 1, Addr: 700, Data: []byte("bg")})
 
 	rc := NewRecoveryCoordinator(tr, parts)
-	rc.MinAge = 0
+	rc.SetMinAge(0)
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	go func() {

@@ -318,25 +318,66 @@ func TestReplicationAndPromotion(t *testing.T) {
 	}
 }
 
-func TestReplicaAppliesInOrder(t *testing.T) {
+func TestReplicaAppliesVersionGuard(t *testing.T) {
 	tr, _, mns := newCluster(2)
 	mns[0].SetBackup(tr, 1)
-	// Deliver replica batches out of order directly.
-	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Seq: 2, Addrs: []Addr{7}, Data: [][]byte{[]byte("second")}, Versions: []uint64{2}}) //nolint:errcheck
-	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Seq: 3, Addrs: []Addr{7}, Data: [][]byte{[]byte("third")}, Versions: []uint64{3}})  //nolint:errcheck
-	// Nothing applied yet (waiting for Seq 1).
+	// Deliver replica batches out of order directly. Every acknowledged
+	// batch must be reflected immediately: parking batches until earlier
+	// ones arrive would lose acked writes if the primary died before the
+	// gap filled (the batch that fills it may never have been sent).
+	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Addrs: []Addr{7}, Data: [][]byte{[]byte("second")}, Versions: []uint64{2}}) //nolint:errcheck
+	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Addrs: []Addr{7}, Data: [][]byte{[]byte("third")}, Versions: []uint64{3}})  //nolint:errcheck
 	p := mns[1].PromoteReplica(0)
-	if _, err := p.HandleRPC(&StatsReq{}); err != nil {
-		t.Fatal(err)
-	}
-	if got := len(p.items); got != 0 {
-		t.Fatalf("out-of-order applies leaked: %d items", got)
-	}
-	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Seq: 1, Addrs: []Addr{7}, Data: [][]byte{[]byte("first")}, Versions: []uint64{1}}) //nolint:errcheck
-	p = mns[1].PromoteReplica(0)
 	it := p.items[7]
 	if it == nil || string(it.data) != "third" || it.version != 3 {
-		t.Fatalf("replica state wrong after reordered applies: %+v", it)
+		t.Fatalf("acked replica batches not applied before promotion: %+v", it)
+	}
+	// A late batch with an older version must not regress the mirror.
+	mns[1].HandleRPC(&ReplicaApplyReq{From: 0, Addrs: []Addr{7}, Data: [][]byte{[]byte("first")}, Versions: []uint64{1}}) //nolint:errcheck
+	p = mns[1].PromoteReplica(0)
+	it = p.items[7]
+	if it == nil || string(it.data) != "third" || it.version != 3 {
+		t.Fatalf("stale replica batch regressed the mirror: %+v", it)
+	}
+}
+
+func TestReplicaStagedSurvivesPromotion(t *testing.T) {
+	tr, _, mns := newCluster(2)
+	mns[0].SetBackup(tr, 1)
+	// Prepare a distributed transaction at node 0; the prepare must be
+	// mirrored to the backup before the vote, so a commit arriving after
+	// fail-over still applies the writes.
+	resp, err := mns[0].HandleRPC(&PrepareReq{
+		Txid:         77,
+		Writes:       []WriteItem{{Node: 0, Addr: 42, Data: []byte("prepared")}},
+		Participants: []NodeID{0, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.(*ExecResp).Vote != voteOK {
+		t.Fatalf("prepare vote: %+v", resp)
+	}
+	// Crash node 0 and promote. The staged transaction must survive, with
+	// its write locks held.
+	tr.SetDown(0, true)
+	p := mns[1].PromoteReplica(0)
+	tr.Bind(0, p)
+	tr.SetDown(0, false)
+	st, err := p.HandleRPC(&TxnStatusReq{Txid: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.(*TxnStatusResp).Status != TxnPrepared {
+		t.Fatalf("staged txn lost in promotion: status %d", st.(*TxnStatusResp).Status)
+	}
+	// Phase two lands on the promoted node and applies the writes.
+	if _, err := p.HandleRPC(&CommitReq{Txid: 77}); err != nil {
+		t.Fatal(err)
+	}
+	it := p.items[42]
+	if it == nil || string(it.data) != "prepared" {
+		t.Fatalf("committed write missing after promoted commit: %+v", it)
 	}
 }
 

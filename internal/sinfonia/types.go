@@ -185,13 +185,37 @@ type AbortReq struct{ Txid uint64 }
 type Ack struct{}
 
 // ReplicaApplyReq carries committed writes from a primary to its backup.
-// Seq orders applies so the backup mirrors the primary exactly.
+// Each write carries the full item state plus the version the primary
+// assigned, so the backup can apply batches in any arrival order under a
+// per-address version guard (versions increase monotonically at the
+// primary). Txid, when non-zero, names the distributed transaction whose
+// commit produced the batch; the backup drops its mirrored prepare for it.
 type ReplicaApplyReq struct {
 	From     NodeID
-	Seq      uint64
+	Txid     uint64
 	Addrs    []Addr
 	Data     [][]byte
 	Versions []uint64
+}
+
+// ReplicaStageReq mirrors a prepared (staged) distributed transaction to the
+// backup before the primary votes OK. If the primary dies between phases,
+// the promoted backup still knows the transaction and can commit it when
+// phase two (from the coordinator or the recovery coordinator) arrives —
+// without this, writes the coordinator was told were prepared would vanish
+// in fail-over.
+type ReplicaStageReq struct {
+	From         NodeID
+	Txid         uint64
+	Writes       []WriteItem
+	Participants []NodeID
+}
+
+// ReplicaResolveReq clears a mirrored prepare without applying writes (the
+// transaction aborted, or committed with nothing to write).
+type ReplicaResolveReq struct {
+	From NodeID
+	Txid uint64
 }
 
 // ScanReq asks a memnode to enumerate items in [MinAddr, MaxAddr). The

@@ -191,6 +191,48 @@ func TestLoadInsertsAll(t *testing.T) {
 	}
 }
 
+// batchMemDB extends memDB with WriteBatch, counting batch calls.
+type batchMemDB struct {
+	memDB
+	batches atomic.Int64
+}
+
+func (d *batchMemDB) WriteBatch(keys, vals [][]byte) error {
+	d.batches.Add(1)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range keys {
+		d.m[string(keys[i])] = vals[i]
+	}
+	return nil
+}
+
+func TestLoadBatchedUsesBatches(t *testing.T) {
+	db := &batchMemDB{memDB: memDB{m: make(map[string][]byte)}}
+	if err := LoadBatched(db, 0, 1000, 3, 64); err != nil {
+		t.Fatal(err)
+	}
+	if len(db.m) != 1000 {
+		t.Fatalf("loaded %d records", len(db.m))
+	}
+	if db.inserts.Load() != 0 {
+		t.Fatalf("batched load fell back to %d single inserts", db.inserts.Load())
+	}
+	// 3 threads × ceil((1000/3)/64) ≈ 18 batches, far fewer than 1000.
+	if n := db.batches.Load(); n == 0 || n > 30 {
+		t.Fatalf("unexpected batch count %d", n)
+	}
+	// batchSize 1 degrades to per-key inserts.
+	db2 := &batchMemDB{memDB: memDB{m: make(map[string][]byte)}}
+	if err := LoadBatched(db2, 0, 100, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if db2.batches.Load() != 0 || db2.inserts.Load() != 100 {
+		t.Fatalf("batchSize 1 should insert singly: %d batches, %d inserts",
+			db2.batches.Load(), db2.inserts.Load())
+	}
+}
+
 func TestRunnerMixRoughlyHonored(t *testing.T) {
 	db := newMemDB()
 	r := &Runner{

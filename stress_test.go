@@ -54,7 +54,12 @@ func TestKitchenSinkStress(t *testing.T) {
 	)
 
 	// Writers: monotonically increase per-key counters (per-key monotonic
-	// values let readers detect lost or reordered updates).
+	// values let readers detect lost or reordered updates). The
+	// read-modify-write runs as ONE transaction: a separate Get followed by
+	// a blind Put would let a writer stalled between the two (fail-over,
+	// busy-lock backoff, scheduling) legally commit a stale value later —
+	// a serializable history that still regresses the counter, which is
+	// not the lost-update signal this test is after.
 	perKeyMax := make([]atomic.Uint64, keys)
 	for w := 0; w < 4; w++ {
 		h, err := c.OpenTree("stress", w%c.Machines())
@@ -72,12 +77,17 @@ func TestKitchenSinkStress(t *testing.T) {
 				default:
 				}
 				i := r.Intn(keys)
-				v, ok, err := h.Get(key(i))
-				if err != nil || !ok {
-					continue // transient during fail-over
-				}
-				next := binary.LittleEndian.Uint64(v) + 1
-				if h.Put(key(i), enc(next)) == nil {
+				var next uint64
+				err := c.Txn([]*Tree{h}, func(tx *Tx) error {
+					v, ok, err := tx.Get(h, key(i))
+					if err != nil || !ok {
+						next = 0
+						return err // transient during fail-over
+					}
+					next = binary.LittleEndian.Uint64(v) + 1
+					return tx.Put(h, key(i), enc(next))
+				})
+				if err == nil && next > 0 {
 					// Track the highest value ever written per key. Racy
 					// upward-only update is fine for a lower bound.
 					for {
