@@ -8,6 +8,7 @@
 //	minuet-bench -fig 10,13 -machines 1,2,4,8,16
 //	minuet-bench -fig 14 -duration 2s -preload 100000
 //	minuet-bench -fig all -quick          # fast smoke run
+//	minuet-bench -fig none -branch        # branching batch-load scenario only
 //
 // Absolute numbers are laptop-scale (the substrate is a simulator, not the
 // paper's 35-host testbed); the shapes — who wins, by what factor, where
@@ -36,6 +37,7 @@ func main() {
 		scanLen  = flag.Int("scan", 0, "scan length in keys")
 		quick    = flag.Bool("quick", false, "use the quick (smoke-test) scale")
 		batch    = flag.Int("batch", 0, "records per atomic write batch in preload phases (0/1 = single-key)")
+		branch   = flag.Bool("branch", false, "also run the branching batch-load scenario (writable clone vs PutAt loop, with concurrent frozen-parent scans)")
 	)
 	flag.Parse()
 
@@ -73,11 +75,13 @@ func main() {
 	}
 
 	want := map[int]bool{}
-	if *figs == "all" {
+	switch *figs {
+	case "all":
 		for f := 10; f <= 18; f++ {
 			want[f] = true
 		}
-	} else {
+	case "none": // e.g. `-fig none -branch`: only the branching scenario
+	default:
 		for _, part := range strings.Split(*figs, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
 			if err != nil || n < 10 || n > 18 {
@@ -114,6 +118,14 @@ func main() {
 			fatalf("figure %d: %v", f.n, err)
 		}
 		fmt.Printf("# figure %d done in %v\n\n", f.n, time.Since(t0).Round(time.Millisecond))
+	}
+
+	if *branch {
+		t0 := time.Now()
+		if _, err := experiments.BranchBatchLoad(sc, os.Stdout); err != nil {
+			fatalf("branching batch load: %v", err)
+		}
+		fmt.Printf("# branching batch load done in %v\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 }
 

@@ -7,6 +7,7 @@
 //	minuet-ycsb -read 0.9 -update 0.05 -insert 0.05 -zipfian
 //	minuet-ycsb -workload e -scanlen 200          # short ranges
 //	minuet-ycsb -workload a -legacy               # dirty traversals OFF
+//	minuet-ycsb -workload a -branching            # run on a writable clone
 package main
 
 import (
@@ -21,29 +22,34 @@ import (
 
 func main() {
 	var (
-		machines = flag.Int("machines", 4, "simulated machines (memnode+proxy each)")
-		latency  = flag.Duration("latency", 50*time.Microsecond, "one-way network latency")
-		records  = flag.Uint64("records", 50_000, "records loaded before the run")
-		threads  = flag.Int("threads", 32, "client threads")
-		duration = flag.Duration("duration", 5*time.Second, "measurement window")
-		workload = flag.String("workload", "", "YCSB core preset a-f (overrides the mix flags)")
-		readP    = flag.Float64("read", 0.95, "read proportion")
-		updateP  = flag.Float64("update", 0.05, "update proportion")
-		insertP  = flag.Float64("insert", 0, "insert proportion")
-		scanP    = flag.Float64("scan", 0, "scan proportion")
-		scanLen  = flag.Int("scanlen", 100, "keys per scan")
-		zipf     = flag.Bool("zipfian", false, "Zipfian key distribution (default uniform)")
-		legacy   = flag.Bool("legacy", false, "disable dirty traversals (Aguilera et al. mode)")
-		target   = flag.Float64("target", 0, "target ops/sec (0 = open loop)")
-		batch    = flag.Int("batch", 1, "records per atomic write batch in the load phase (1 = single-key inserts)")
+		machines  = flag.Int("machines", 4, "simulated machines (memnode+proxy each)")
+		latency   = flag.Duration("latency", 50*time.Microsecond, "one-way network latency")
+		records   = flag.Uint64("records", 50_000, "records loaded before the run")
+		threads   = flag.Int("threads", 32, "client threads")
+		duration  = flag.Duration("duration", 5*time.Second, "measurement window")
+		workload  = flag.String("workload", "", "YCSB core preset a-f (overrides the mix flags)")
+		readP     = flag.Float64("read", 0.95, "read proportion")
+		updateP   = flag.Float64("update", 0.05, "update proportion")
+		insertP   = flag.Float64("insert", 0, "insert proportion")
+		scanP     = flag.Float64("scan", 0, "scan proportion")
+		scanLen   = flag.Int("scanlen", 100, "keys per scan")
+		zipf      = flag.Bool("zipfian", false, "Zipfian key distribution (default uniform)")
+		legacy    = flag.Bool("legacy", false, "disable dirty traversals (Aguilera et al. mode)")
+		target    = flag.Float64("target", 0, "target ops/sec (0 = open loop)")
+		batch     = flag.Int("batch", 1, "records per atomic write batch in the load phase (1 = single-key inserts)")
+		branching = flag.Bool("branching", false, "branching mode: load the mainline, fork a writable clone, and run the whole workload on the clone (version-addressed ops + WriteBatchAt)")
 	)
 	flag.Parse()
 
+	if *branching && *legacy {
+		fatalf("-branching requires dirty traversals (drop -legacy)")
+	}
 	c := minuet.NewCluster(minuet.Options{
 		Machines:         *machines,
 		NetworkLatency:   *latency,
 		Replicate:        *machines > 1,
 		LegacyTraversals: *legacy,
+		Branching:        *branching,
 	})
 	defer c.Close()
 	tree, err := c.CreateTree("ycsb")
@@ -71,6 +77,9 @@ func main() {
 	}
 
 	db := &treeDB{tree: tree}
+	if *branching {
+		db.sid = 1 // the initial writable version; root updates live in the catalog
+	}
 	fmt.Printf("loading %d records on %d machines (batch %d)...\n", *records, *machines, *batch)
 	t0 := time.Now()
 	if err := ycsb.LoadBatched(db, 0, *records, *threads, *batch); err != nil {
@@ -78,6 +87,18 @@ func main() {
 	}
 	fmt.Printf("loaded in %v (%.0f ops/s)\n", time.Since(t0).Round(time.Millisecond),
 		float64(*records)/time.Since(t0).Seconds())
+
+	if *branching {
+		// Freeze the loaded mainline and run the measured workload on a
+		// writable clone — the paper's branch-everywhere deployment. The
+		// frozen parent stays scannable side by side.
+		br, err := tree.Branch(1)
+		if err != nil {
+			fatalf("branch: %v", err)
+		}
+		db.sid = br.Sid
+		fmt.Printf("forked writable clone %d off the frozen mainline\n", br.Sid)
+	}
 
 	runner := &ycsb.Runner{DB: db, W: w, Threads: *threads, TargetOpsPerSec: *target}
 	rep := runner.Run(*duration)
@@ -102,16 +123,33 @@ func main() {
 }
 
 // treeDB adapts the public Tree to ycsb.DB, scanning through snapshots as
-// the paper's long-scan strategy prescribes.
-type treeDB struct{ tree *minuet.Tree }
+// the paper's long-scan strategy prescribes. With sid set (branching mode)
+// every operation is version-addressed at that writable clone.
+type treeDB struct {
+	tree *minuet.Tree
+	sid  uint64 // 0 = linear tip; else the writable clone to target
+}
 
 func (d *treeDB) Read(key []byte) error {
+	if d.sid != 0 {
+		_, _, err := d.tree.GetAt(d.sid, key)
+		return err
+	}
 	_, _, err := d.tree.Get(key)
 	return err
 }
-func (d *treeDB) Update(key, val []byte) error { return d.tree.Put(key, val) }
-func (d *treeDB) Insert(key, val []byte) error { return d.tree.Put(key, val) }
+func (d *treeDB) Update(key, val []byte) error {
+	if d.sid != 0 {
+		return d.tree.PutAt(d.sid, key, val)
+	}
+	return d.tree.Put(key, val)
+}
+func (d *treeDB) Insert(key, val []byte) error { return d.Update(key, val) }
 func (d *treeDB) Scan(start []byte, count int) error {
+	if d.sid != 0 {
+		_, err := d.tree.ScanAt(d.sid, start, count)
+		return err
+	}
 	snap, _, err := d.tree.SnapshotBorrowed()
 	if err != nil {
 		return err
@@ -121,11 +159,16 @@ func (d *treeDB) Scan(start []byte, count int) error {
 }
 
 // WriteBatch implements ycsb.BatchDB: the load phase groups inserts into
-// atomic batches that commit in a handful of round trips.
+// atomic batches that commit in a handful of round trips. In branching mode
+// the batch is version-addressed (WriteBatchAt); before the fork it lands on
+// the mainline tip, which ApplyBatch resolves transparently.
 func (d *treeDB) WriteBatch(keys, vals [][]byte) error {
 	b := d.tree.NewBatch()
 	for i := range keys {
 		b.Put(keys[i], vals[i])
+	}
+	if d.sid != 0 {
+		return d.tree.WriteBatchAt(d.sid, b)
 	}
 	return d.tree.WriteBatch(b)
 }

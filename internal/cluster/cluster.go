@@ -281,18 +281,27 @@ func (cl *Cluster) RecoverMachine(i int) error {
 	if n > 1 {
 		promoted.SetBackup(cl.tr, sinfonia.NodeID((i+1)%n))
 	}
+	// Re-mirror the prepares inherited at promotion to the new backup
+	// BEFORE the node comes online: they were mirrored to the dead host's
+	// chain, and a second fault before this step would otherwise strand
+	// (or lose) transactions some participant already voted yes on. Done
+	// while still offline so no prepare can be resolved mid-remirror (the
+	// backup's resolution log additionally fences any such race).
+	promoted.RemirrorStaged()
+
 	cl.memnodes[i] = promoted
 	cl.tr.Bind(id, promoted)
 	cl.tr.SetDown(id, false)
 
-	// Take over backup duty for the predecessor: pull its full state and
-	// merge under the version guard (bringing the node online first means
-	// fresh replica applies and the seed interleave safely).
+	// Take over backup duty for the predecessor: pull its full state —
+	// committed items and in-flight prepares — and merge under the version
+	// guard (bringing the node online first means fresh replica applies and
+	// the seed interleave safely).
 	pred := sinfonia.NodeID((i - 1 + n) % n)
 	if pred != id {
 		if resp, err := cl.tr.Call(pred, &sinfonia.SnapshotStateReq{}); err == nil {
 			if st, ok := resp.(*sinfonia.SnapshotStateResp); ok {
-				promoted.SeedReplica(pred, st.Addrs, st.Data, st.Versions)
+				promoted.SeedReplica(pred, st)
 			}
 		}
 	}

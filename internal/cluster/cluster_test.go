@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"minuet/internal/core"
+	"minuet/internal/sinfonia"
 )
 
 func testCfg(machines int) Config {
@@ -168,6 +170,126 @@ func TestCrashAndRecoverMachine(t *testing.T) {
 	// And writes keep working.
 	if err := bt.Put([]byte("post-failover"), []byte("yes")); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestDoubleFaultPreparedTxnDecided: a prepared two-phase transaction must
+// survive two cascading memnode faults and still reach its decision.
+//
+// A coordinator prepares at memnodes 0 and 2, gets both yes votes, commits
+// at node 2, and dies. Then machine 1 — the host mirroring node 0, including
+// node 0's in-flight prepare — crashes and is promoted. Then machine 0
+// crashes, so its replacement is built from the promoted node's freshly
+// seeded mirror. The prepare reaches that mirror only because fail-over
+// re-seeds in-flight prepares through SnapshotStateReq; without it, the
+// recovery sweep would either strand the transaction or lose node 0's
+// already-decided write.
+func TestDoubleFaultPreparedTxnDecided(t *testing.T) {
+	cfg := testCfg(3)
+	cfg.Replicate = true
+	cl := New(cfg)
+	defer cl.Close()
+	// Keep the background sweep away from the in-doubt transaction until
+	// both faults have landed.
+	cl.Recovery().SetMinAge(time.Hour)
+
+	const txid = 4242
+	const addr = sinfonia.Addr(1 << 40)
+	parts := []sinfonia.NodeID{0, 2}
+	for _, node := range parts {
+		_, err := cl.Transport().Call(node, &sinfonia.PrepareReq{
+			Txid: txid, Participants: parts,
+			Writes: []sinfonia.WriteItem{{Node: node, Addr: addr, Data: []byte("decided")}},
+		})
+		if err != nil {
+			t.Fatalf("prepare at %d: %v", node, err)
+		}
+	}
+	// The coordinator decided commit, reached node 2, and died.
+	if _, err := cl.Transport().Call(sinfonia.NodeID(2), &sinfonia.CommitReq{Txid: txid}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fault 1: the host mirroring node 0 dies and is promoted. The
+	// replacement takes over backup duty for node 0 — committed items AND
+	// the in-flight prepare.
+	cl.CrashMachine(1)
+	if err := cl.RecoverMachine(1); err != nil {
+		t.Fatal(err)
+	}
+	// Fault 2: node 0 itself dies; its replacement is built from the
+	// mirror seeded moments ago.
+	cl.CrashMachine(0)
+	if err := cl.RecoverMachine(0); err != nil {
+		t.Fatal(err)
+	}
+
+	cl.Recovery().SetMinAge(0)
+	committed, aborted, err := cl.Recovery().SweepOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 1 || aborted != 0 {
+		t.Fatalf("double-fault sweep: committed=%d aborted=%d, want 1/0", committed, aborted)
+	}
+	// Atomicity held: both participants carry the decided write.
+	for _, node := range parts {
+		r, err := cl.Proxy(0).Client.Read(sinfonia.Ptr{Node: node, Addr: addr})
+		if err != nil || !r.Exists || string(r.Data) != "decided" {
+			t.Fatalf("node %d lost the decided write after double fault: %+v %v", node, r, err)
+		}
+	}
+}
+
+// TestDoubleFaultRepromotion: crashing and promoting the same memnode twice
+// in a row must keep an inherited prepare resolvable — the backup chain
+// (mirror retention plus the promoted node's re-mirror of inherited
+// prepares) has to survive repeated promotion cycles of one identity.
+func TestDoubleFaultRepromotion(t *testing.T) {
+	cfg := testCfg(3)
+	cfg.Replicate = true
+	cl := New(cfg)
+	defer cl.Close()
+	cl.Recovery().SetMinAge(time.Hour)
+
+	const txid = 5151
+	const addr = sinfonia.Addr(1 << 41)
+	parts := []sinfonia.NodeID{0, 2}
+	for _, node := range parts {
+		_, err := cl.Transport().Call(node, &sinfonia.PrepareReq{
+			Txid: txid, Participants: parts,
+			Writes: []sinfonia.WriteItem{{Node: node, Addr: addr, Data: []byte("again")}},
+		})
+		if err != nil {
+			t.Fatalf("prepare at %d: %v", node, err)
+		}
+	}
+	if _, err := cl.Transport().Call(sinfonia.NodeID(2), &sinfonia.CommitReq{Txid: txid}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash node 0 and promote it — twice in a row. The second promotion
+	// depends on the first one's re-mirror of the inherited prepare.
+	for round := 0; round < 2; round++ {
+		cl.CrashMachine(0)
+		if err := cl.RecoverMachine(0); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+
+	cl.Recovery().SetMinAge(0)
+	committed, aborted, err := cl.Recovery().SweepOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed != 1 || aborted != 0 {
+		t.Fatalf("re-promotion sweep: committed=%d aborted=%d, want 1/0", committed, aborted)
+	}
+	for _, node := range parts {
+		r, err := cl.Proxy(0).Client.Read(sinfonia.Ptr{Node: node, Addr: addr})
+		if err != nil || !r.Exists || string(r.Data) != "again" {
+			t.Fatalf("node %d lost the write after re-promotion: %+v %v", node, r, err)
+		}
 	}
 }
 

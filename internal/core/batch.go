@@ -4,6 +4,7 @@ import (
 	"errors"
 	"sort"
 
+	"minuet/internal/catalog"
 	"minuet/internal/dyntx"
 	"minuet/internal/wire"
 )
@@ -24,6 +25,12 @@ import (
 // The whole batch is atomic: every mutation applies, or (on conflict or
 // crash) none does. Conflicts with concurrent writers surface as validation
 // failures and retry the batch with backoff, like any other operation.
+//
+// On branching trees (§5) the same sweep targets a writable version: the
+// catalog slot is validated instead of the tip objects (injectBranch), leaf
+// copies along each touched root-to-leaf path go through the redirect-set
+// machinery (markCopiedBranching), and root growth lands in the snapshot
+// catalog (writeBranchRoot) rather than the fixed tip-root cell.
 
 // BatchOp is one operation in a write batch: a Put of (Key, Val), or a
 // Delete of Key when Delete is set.
@@ -32,11 +39,6 @@ type BatchOp struct {
 	Val    []byte
 	Delete bool
 }
-
-// ErrBatchBranching reports a batched write on a branching-mode tree, which
-// routes root updates through the snapshot catalog and is not yet wired
-// into the batch path.
-var ErrBatchBranching = errors.New("core: batched writes are not supported on branching trees")
 
 // normalizeBatch sorts ops by key and collapses duplicate keys to the last
 // occurrence, preserving Put/Put, Put/Delete, and Delete/Put overwrite
@@ -57,38 +59,126 @@ func normalizeBatch(ops []BatchOp) []BatchOp {
 }
 
 // ApplyBatch applies ops as one atomic batch at the tip, retrying on
-// optimistic conflicts with the same loop single-key operations use.
+// optimistic conflicts with the same loop single-key operations use. On a
+// branching tree the batch lands on the mainline tip (the writable version
+// ResolveTip finds from the initial snapshot); use ApplyBatchAt to target a
+// specific branch.
 func (bt *BTree) ApplyBatch(ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	norm := normalizeBatch(ops)
 	if bt.cfg.Branching {
-		return ErrBatchBranching
+		return bt.applyBatchMainline(norm)
+	}
+	return bt.run(func(t *dyntx.Txn) error { return bt.batchTxnTip(t, norm) })
+}
+
+// applyBatchMainline applies a normalized batch to the current mainline tip,
+// re-resolving when a concurrent branch freezes the tip mid-flight (the
+// paper's default retry rule, §5.1).
+func (bt *BTree) applyBatchMainline(norm []BatchOp) error {
+	var lastErr error
+	for attempt := 0; attempt < 64; attempt++ {
+		tip, err := bt.ResolveTip(initialSnapID)
+		if err != nil {
+			return err
+		}
+		err = bt.run(func(t *dyntx.Txn) error { return bt.batchTxnAt(t, tip, norm) })
+		if err == nil || !errors.Is(err, ErrNotWritable) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+// ApplyBatchAt applies ops as one atomic batch to writable version sid of a
+// branching tree, retrying on optimistic conflicts. Writing to a version
+// that has been branched returns ErrNotWritable, like PutAt.
+func (bt *BTree) ApplyBatchAt(sid uint64, ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if !bt.cfg.Branching {
+		return ErrNotBranching
 	}
 	norm := normalizeBatch(ops)
-	return bt.run(func(t *dyntx.Txn) error { return bt.batchTxn(t, norm) })
+	return bt.run(func(t *dyntx.Txn) error { return bt.batchTxnAt(t, sid, norm) })
 }
 
 // BatchTxn assembles ops into an existing dynamic transaction. The caller
 // owns commit (and retry); ops from several batches or trees may share one
-// transaction and commit atomically together.
+// transaction and commit atomically together. On a branching tree the batch
+// targets the mainline tip, like ApplyBatch.
 func (bt *BTree) BatchTxn(t *dyntx.Txn, ops []BatchOp) error {
 	if len(ops) == 0 {
 		return nil
 	}
+	norm := normalizeBatch(ops)
 	if bt.cfg.Branching {
-		return ErrBatchBranching
+		tip, err := bt.ResolveTip(initialSnapID)
+		if err != nil {
+			return err
+		}
+		return bt.batchTxnAt(t, tip, norm)
 	}
-	return bt.batchTxn(t, normalizeBatch(ops))
+	return bt.batchTxnTip(t, norm)
 }
 
-// batchTxn is the sorted leaf sweep. ops must be normalized.
-func (bt *BTree) batchTxn(t *dyntx.Txn, ops []BatchOp) error {
+// BatchTxnAt assembles ops targeting writable version sid into an existing
+// dynamic transaction (branching trees only). The caller owns commit.
+func (bt *BTree) BatchTxnAt(t *dyntx.Txn, sid uint64, ops []BatchOp) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	if !bt.cfg.Branching {
+		return ErrNotBranching
+	}
+	return bt.batchTxnAt(t, sid, normalizeBatch(ops))
+}
+
+// batchTxnTip targets the linear tip: the replicated tip objects join the
+// read set and a root split mid-batch is observed through the pending write
+// of the tip-root cell.
+func (bt *BTree) batchTxnTip(t *dyntx.Txn, ops []BatchOp) error {
 	sid, root, err := bt.injectTip(t)
 	if err != nil {
 		return err
 	}
+	curRoot := func() Ptr {
+		if d, ok := t.PendingWrite(bt.refTipRoot()); ok {
+			return decodePtr(d) // the batch split the root earlier in this txn
+		}
+		return root
+	}
+	return bt.batchSweep(t, sid, root, curRoot, ops)
+}
 
+// batchTxnAt targets writable version sid of a branching tree: the catalog
+// slot joins the read set (injectBranch) and root growth is observed through
+// the pending write of that slot, where writeBranchRoot lands it.
+func (bt *BTree) batchTxnAt(t *dyntx.Txn, sid uint64, ops []BatchOp) error {
+	root, err := bt.injectBranch(t, sid)
+	if err != nil {
+		return err
+	}
+	rootRef := bt.cat.Ref(sid)
+	curRoot := func() Ptr {
+		if d, ok := t.PendingWrite(rootRef); ok {
+			if e, err := catalog.Decode(d); err == nil {
+				return e.Root // the batch grew the root earlier in this txn
+			}
+		}
+		return root
+	}
+	return bt.batchSweep(t, sid, root, curRoot, ops)
+}
+
+// batchSweep is the sorted leaf sweep shared by the tip and branch paths.
+// ops must be normalized; curRoot reports the root as of the transaction's
+// buffered writes so later leaf-groups observe earlier root growth.
+func (bt *BTree) batchSweep(t *dyntx.Txn, sid uint64, root Ptr, curRoot func() Ptr, ops []BatchOp) error {
 	// Prefetch the touched leaves into the read set, one concurrent
 	// multi-read minitransaction per memnode. Best-effort: on any planning
 	// hiccup the sweep below fetches leaves itself (one round trip each).
@@ -99,11 +189,7 @@ func (bt *BTree) batchTxn(t *dyntx.Txn, ops []BatchOp) error {
 	// parent (or root) rewritten by an earlier group in this same
 	// transaction is observed by later groups with no network traffic.
 	for i := 0; i < len(ops); {
-		curRoot := root
-		if d, ok := t.PendingWrite(bt.refTipRoot()); ok {
-			curRoot = decodePtr(d) // the batch split the root earlier in this txn
-		}
-		path, err := bt.traverse(t, curRoot, sid, ops[i].Key, true)
+		path, err := bt.traverse(t, curRoot(), sid, ops[i].Key, true)
 		if err != nil {
 			return err
 		}
@@ -145,10 +231,13 @@ func (bt *BTree) batchTxn(t *dyntx.Txn, ops []BatchOp) error {
 }
 
 // prefetchBatchLeaves plans the leaf for every op by walking interior nodes
-// (proxy cache first, dirty reads on miss) and fetches all distinct planned
-// leaves with one concurrent multi-read minitransaction per memnode,
-// injecting them into the read set. Planning errors abandon the prefetch —
-// the authoritative sweep re-traverses and reports them properly.
+// (proxy cache first, dirty reads on miss), following branching-mode
+// redirects along the way, and fetches all distinct planned leaves with one
+// concurrent multi-read minitransaction per memnode, injecting them into the
+// read set. On branching trees the fetched leaves may themselves carry
+// redirects toward sid (their copy lives elsewhere), so a few extra rounds
+// chase those copies into the read set too. Planning errors abandon the
+// prefetch — the authoritative sweep re-traverses and reports them properly.
 func (bt *BTree) prefetchBatchLeaves(t *dyntx.Txn, root Ptr, sid uint64, ops []BatchOp) {
 	var refs []dyntx.Ref
 	seen := make(map[Ptr]struct{})
@@ -160,14 +249,26 @@ func (bt *BTree) prefetchBatchLeaves(t *dyntx.Txn, root Ptr, sid uint64, ops []B
 		}
 		curPtr := root
 		cur, _, err := bt.loadInner(t, curPtr)
-		if err != nil || cur.IsLeaf() || !bt.checkNode(cur, sid, op.Key) {
+		if err != nil {
+			return
+		}
+		if curPtr, cur, err = bt.planRedirects(t, curPtr, cur, sid); err != nil {
+			return
+		}
+		if cur.IsLeaf() || !bt.checkNode(cur, sid, op.Key) {
 			return
 		}
 		for cur.Height > 1 {
 			i := cur.childIndex(op.Key)
 			nextPtr := cur.Kids[i]
 			next, _, err := bt.loadInner(t, nextPtr)
-			if err != nil || next.Height != cur.Height-1 || !bt.checkNode(next, sid, op.Key) {
+			if err != nil {
+				return
+			}
+			if nextPtr, next, err = bt.planRedirects(t, nextPtr, next, sid); err != nil {
+				return
+			}
+			if next.Height != cur.Height-1 || !bt.checkNode(next, sid, op.Key) {
 				return
 			}
 			cur, curPtr = next, nextPtr
@@ -181,7 +282,59 @@ func (bt *BTree) prefetchBatchLeaves(t *dyntx.Txn, root Ptr, sid uint64, ops []B
 			refs = append(refs, refNode(leafPtr))
 		}
 	}
-	if len(refs) > 0 {
-		_, _ = t.ReadBatch(refs)
+	// Fetch the planned leaves; on branching trees chase leaf-level
+	// redirects with follow-up rounds so the copies the sweep will actually
+	// rewrite are prefetched too.
+	const maxRedirectRounds = 4
+	for round := 0; len(refs) > 0; round++ {
+		objs, err := t.ReadBatch(refs)
+		if err != nil || !bt.cfg.Branching || round == maxRedirectRounds {
+			return
+		}
+		var next []dyntx.Ref
+		for _, o := range objs {
+			if !o.Exists {
+				continue
+			}
+			n, err := decodeNode(o.Data)
+			if err != nil || len(n.Redirects) == 0 {
+				continue
+			}
+			p, ok, err := bt.bestRedirect(n, sid)
+			if err != nil {
+				return
+			}
+			if !ok {
+				continue
+			}
+			if _, dup := seen[p]; !dup {
+				seen[p] = struct{}{}
+				next = append(next, refNode(p))
+			}
+		}
+		refs = next
 	}
+}
+
+// planRedirects resolves branching-mode redirects on interior nodes during
+// batch planning, using dirty loads only (no read-set growth). A no-op on
+// linear trees.
+func (bt *BTree) planRedirects(t *dyntx.Txn, p Ptr, n *Node, sid uint64) (Ptr, *Node, error) {
+	if !bt.cfg.Branching {
+		return p, n, nil
+	}
+	for hops := 0; hops < 64; hops++ {
+		tp, ok, err := bt.bestRedirect(n, sid)
+		if err != nil {
+			return Ptr{}, nil, err
+		}
+		if !ok {
+			return p, n, nil
+		}
+		p = tp
+		if n, _, err = bt.loadInner(t, p); err != nil {
+			return Ptr{}, nil, err
+		}
+	}
+	return Ptr{}, nil, dyntx.ErrRetry
 }

@@ -29,6 +29,10 @@ var ErrNotWritable = errors.New("core: snapshot is read-only (has a branch)")
 // ErrBranchLimit is returned when a snapshot already has β branches.
 var ErrBranchLimit = errors.New("core: version-tree branching factor (β) exceeded")
 
+// ErrNotBranching is returned by version-addressed operations (PutAt,
+// ApplyBatchAt, ...) on a tree whose configuration has Branching disabled.
+var ErrNotBranching = errors.New("core: tree is not in branching mode")
+
 // injectBranch validates that sid is a writable tip by adding its catalog
 // slot to the read set (the branching analogue of validating the tip
 // snapshot id), and returns the branch's root location.
@@ -393,14 +397,25 @@ func redirectIndexOf(rs []Redirect, sid uint64) int {
 
 // writeBranchRoot updates the catalog slot of a writable tip after a root
 // split. The slot is already in the read set (injectBranch), so the write
-// validates against the version observed at operation start.
+// validates against the version observed at operation start. A batch can
+// grow the root more than once inside one transaction, so an earlier pending
+// write of the slot — not the committed entry — is the base when present.
 func (bt *BTree) writeBranchRoot(t *dyntx.Txn, sid uint64, rootPtr Ptr) error {
-	e, err := bt.cat.Get(sid)
-	if err != nil {
-		return err
+	ref := bt.cat.Ref(sid)
+	var e catalog.Entry
+	if d, ok := t.PendingWrite(ref); ok {
+		var err error
+		if e, err = catalog.Decode(d); err != nil {
+			return dyntx.ErrRetry
+		}
+	} else {
+		var err error
+		if e, err = bt.cat.Get(sid); err != nil {
+			return err
+		}
 	}
 	e.Root = rootPtr
-	t.Write(bt.cat.Ref(sid), catalog.Encode(e))
+	t.Write(ref, catalog.Encode(e))
 	bt.cat.Invalidate(sid)
 	return nil
 }

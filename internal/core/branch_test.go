@@ -255,6 +255,80 @@ func TestBranchDiscretionaryCopies(t *testing.T) {
 	}
 }
 
+// TestBranchWriteThroughDiscretionaryRedirect: a write whose traversal
+// reaches the target leaf only through a discretionary copy's redirect (the
+// parent still points at the original node — discretionary copies hang off
+// redirect sets, no parent references them) must commit by repairing the
+// parent, not retry forever. Found by the differential fuzz harness: the
+// old replaceChild demanded parent.Kids[i] == the redirect target and
+// live-locked.
+//
+// Version tree (β=2):   1
+//
+//	     / \
+//	    2   3(writes X)
+//	   / \
+//	  4   5(writes X)
+//	 / \
+//	6   7
+//
+// Writes at 3, 6, 5 overflow X's redirect set; {6,5} share child-subtree 2,
+// so a discretionary copy tagged 2 absorbs them. Version 7 never wrote X and
+// inherited 4's parent image, which still points at X — its first write goes
+// through X -> discretionary copy.
+func TestBranchWriteThroughDiscretionaryRedirect(t *testing.T) {
+	e := newEnv(t, 1, branchCfg(2))
+	const keys = 3 // stay within one leaf
+	for k := 0; k < keys; k++ {
+		if err := e.bt.PutAt(1, key(k), []byte("base")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b2, _ := e.bt.CreateBranch(1)
+	b3, _ := e.bt.CreateBranch(1)
+	b4, _ := e.bt.CreateBranch(b2.Sid)
+	b5, _ := e.bt.CreateBranch(b2.Sid)
+	b6, _ := e.bt.CreateBranch(b4.Sid)
+	b7, _ := e.bt.CreateBranch(b4.Sid)
+
+	for i, sid := range []uint64{b3.Sid, b6.Sid, b5.Sid} {
+		if err := e.bt.PutAt(sid, key(1), []byte(fmt.Sprintf("tip%d", i))); err != nil {
+			t.Fatalf("write at %d: %v", sid, err)
+		}
+	}
+	if e.bt.Stats().Discretion == 0 {
+		t.Fatal("setup failed: writes at {3,6,5} under β=2 must trigger a discretionary copy")
+	}
+	// The regression: version 7's write traverses X -> discretionary copy.
+	if err := e.bt.PutAt(b7.Sid, key(1), []byte("through")); err != nil {
+		t.Fatalf("write through discretionary redirect: %v", err)
+	}
+	// And the batched path hits the same machinery.
+	if err := e.bt.ApplyBatchAt(b7.Sid, []BatchOp{
+		{Key: key(0), Val: []byte("batch0")},
+		{Key: key(2), Val: []byte("batch2")},
+	}); err != nil {
+		t.Fatalf("batch through discretionary redirect: %v", err)
+	}
+	expect := map[uint64][3]string{
+		1:      {"base", "base", "base"},
+		b2.Sid: {"base", "base", "base"},
+		b3.Sid: {"base", "tip0", "base"},
+		b4.Sid: {"base", "base", "base"},
+		b5.Sid: {"base", "tip2", "base"},
+		b6.Sid: {"base", "tip1", "base"},
+		b7.Sid: {"batch0", "through", "batch2"},
+	}
+	for sid, want := range expect {
+		for k := 0; k < keys; k++ {
+			v, ok, err := e.bt.GetAt(sid, key(k))
+			if err != nil || !ok || string(v) != want[k] {
+				t.Fatalf("sid %d key %d: %q %v %v want %q", sid, k, v, ok, err, want[k])
+			}
+		}
+	}
+}
+
 func TestBranchConcurrentWriters(t *testing.T) {
 	e := newEnv(t, 2, branchCfg(2))
 	for i := 0; i < 10; i++ {

@@ -233,21 +233,36 @@ func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level 
 			}
 			// The root's created-snapshot always equals the tip (it is
 			// copied at snapshot/branch creation), so it is never CoW'd
-			// here. Reaching this means the traversal used a stale root.
-			bt.invalidateTip()
+			// here. Reaching this means the traversal used a stale root —
+			// the tip cache in linear mode, the catalog entry in branching.
+			if bt.cfg.Branching {
+				bt.cat.Invalidate(sid)
+			} else {
+				bt.invalidateTip()
+			}
 			return dyntx.ErrRetry
 		}
 		return bt.growRoot(t, sid, root.node, newPtr, ins)
 	}
 
 	parent := path[level-1]
+	e := path[level]
 	i := parent.childIdx
 	pw := parent.node.clone()
-	if i >= len(pw.Kids) || pw.Kids[i] != oldPtr {
+	if i >= len(pw.Kids) || pw.Kids[i] != e.anchor {
 		// The cached parent no longer matches the traversal; retry.
 		bt.invalidateTraversal(parent.ptr, nil)
 		return dyntx.ErrRetry
 	}
+	if len(ins) == 0 && pw.Kids[i] == newPtr {
+		return nil
+	}
+	// Repoint the child slot. When the traversal reached the node through
+	// redirects (anchor != the node's own location — e.g. a discretionary
+	// copy, which no parent points at directly), this also repairs the
+	// parent to reference the fresh copy, so this version's later
+	// traversals skip the redirect hops. Other versions keep reaching their
+	// copies through the untouched anchor node's redirect set.
 	pw.Kids[i] = newPtr
 	if len(ins) > 0 {
 		keys := make([]wire.Key, 0, len(pw.Keys)+len(ins))
@@ -263,8 +278,6 @@ func (bt *BTree) replaceChild(t *dyntx.Txn, sid uint64, path []pathEntry, level 
 		}
 		kids = append(kids, pw.Kids[i+1:]...)
 		pw.Keys, pw.Kids = keys, kids
-	} else if newPtr == oldPtr {
-		return nil
 	}
 	return bt.applyUpdate(t, sid, path, level-1, pw)
 }

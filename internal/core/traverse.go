@@ -7,9 +7,13 @@ import (
 
 // pathEntry records one node visited by a traversal, along with the item
 // version observed (needed when the node is later written) and the child
-// slot the traversal took.
+// slot the traversal took. anchor is the location the parent's child slot
+// actually holds; it differs from ptr when the traversal followed redirects
+// (branching mode) to reach the node, e.g. into a discretionary copy that no
+// parent points at directly.
 type pathEntry struct {
 	ptr      Ptr
+	anchor   Ptr
 	node     *Node
 	version  uint64 // item version observed at the memnode (or via cache)
 	childIdx int    // index of the child taken (interior nodes)
@@ -128,6 +132,33 @@ func (bt *BTree) checkNode(n *Node, sid uint64, k wire.Key) bool {
 	return n.inRange(k)
 }
 
+// bestRedirect returns the deepest (most specific) redirect of n whose
+// snapshot is an ancestor-or-self of sid, if any (§5.2).
+func (bt *BTree) bestRedirect(n *Node, sid uint64) (Ptr, bool, error) {
+	best := -1
+	var bestDepth uint32
+	for i, r := range n.Redirects {
+		ok, err := bt.cat.IsAncestorOrSelf(r.Sid, sid)
+		if err != nil {
+			return Ptr{}, false, err
+		}
+		if !ok {
+			continue
+		}
+		e, err := bt.cat.Get(r.Sid)
+		if err != nil {
+			return Ptr{}, false, err
+		}
+		if best == -1 || e.Depth > bestDepth {
+			best, bestDepth = i, e.Depth
+		}
+	}
+	if best == -1 {
+		return Ptr{}, false, nil
+	}
+	return n.Redirects[best].Ptr, true, nil
+}
+
 // followRedirects resolves branching-mode redirects (§5.2): while the node
 // carries a redirect whose snapshot is an ancestor-or-self of sid, hop to
 // that copy. Among several matches the deepest (most specific) wins.
@@ -136,29 +167,14 @@ func (bt *BTree) followRedirects(t *dyntx.Txn, p Ptr, n *Node, ver uint64, sid u
 		return p, n, ver, nil
 	}
 	for hops := 0; hops < 64; hops++ {
-		best := -1
-		var bestDepth uint32
-		for i, r := range n.Redirects {
-			ok, err := bt.cat.IsAncestorOrSelf(r.Sid, sid)
-			if err != nil {
-				return Ptr{}, nil, 0, err
-			}
-			if !ok {
-				continue
-			}
-			e, err := bt.cat.Get(r.Sid)
-			if err != nil {
-				return Ptr{}, nil, 0, err
-			}
-			if best == -1 || e.Depth > bestDepth {
-				best, bestDepth = i, e.Depth
-			}
+		tp, ok, err := bt.bestRedirect(n, sid)
+		if err != nil {
+			return Ptr{}, nil, 0, err
 		}
-		if best == -1 {
+		if !ok {
 			return p, n, ver, nil
 		}
-		p = n.Redirects[best].Ptr
-		var err error
+		p = tp
 		if n.Height == 0 {
 			n, ver, err = bt.loadLeaf(t, p, validateLeaf)
 		} else {
@@ -187,22 +203,28 @@ func (bt *BTree) traverse(t *dyntx.Txn, root Ptr, sid uint64, k wire.Key, valida
 	if err != nil {
 		return nil, err
 	}
+	anchor := root
 	curPtr, cur, ver, err = bt.followRedirects(t, curPtr, cur, ver, sid, validateLeaf)
 	if err != nil {
 		return nil, err
 	}
 	if cur.IsLeaf() || !bt.checkNode(cur, sid, k) {
-		// A bad root means the tip cache itself is stale.
+		// A bad root means the tip cache itself is stale — or, on a
+		// branching tree, the proxy's catalog entry for sid.
 		bt.invalidateTip()
+		if bt.cat != nil {
+			bt.cat.Invalidate(sid)
+		}
 		bt.invalidateTraversal(curPtr, nil)
 		return nil, dyntx.ErrRetry
 	}
-	path = append(path, pathEntry{ptr: curPtr, node: cur, version: ver})
+	path = append(path, pathEntry{ptr: curPtr, anchor: anchor, node: cur, version: ver})
 
 	for !cur.IsLeaf() {
 		i := cur.childIndex(k)
 		path[len(path)-1].childIdx = i
 		nextPtr := cur.Kids[i]
+		anchor = nextPtr // what the parent's slot holds, pre-redirect
 
 		var next *Node
 		var nver uint64
@@ -225,7 +247,7 @@ func (bt *BTree) traverse(t *dyntx.Txn, root Ptr, sid uint64, k wire.Key, valida
 			bt.invalidateTraversal(nextPtr, &path[len(path)-1])
 			return nil, dyntx.ErrRetry
 		}
-		path = append(path, pathEntry{ptr: nextPtr, node: next, version: nver})
+		path = append(path, pathEntry{ptr: nextPtr, anchor: anchor, node: next, version: nver})
 		cur = next
 		curPtr = nextPtr
 	}

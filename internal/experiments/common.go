@@ -61,16 +61,32 @@ func Quick() Scale {
 
 // newMinuet builds a cluster with the experiment defaults.
 func newMinuet(sc Scale, machines int, dirty bool, trees int) (*cluster.Cluster, error) {
+	return newMinuetTrees(sc, machines, trees, core.Config{
+		NodeSize:        4096,
+		MaxLeafKeys:     64,
+		MaxInnerKeys:    64,
+		DirtyTraversals: dirty,
+	})
+}
+
+// newMinuetBranching builds a branching-mode cluster (writable clones, §5)
+// with the experiment defaults.
+func newMinuetBranching(sc Scale, machines, trees int) (*cluster.Cluster, error) {
+	return newMinuetTrees(sc, machines, trees, core.Config{
+		NodeSize:        4096,
+		MaxLeafKeys:     64,
+		MaxInnerKeys:    64,
+		DirtyTraversals: true,
+		Branching:       true,
+	})
+}
+
+func newMinuetTrees(sc Scale, machines, trees int, tree core.Config) (*cluster.Cluster, error) {
 	cfg := cluster.Config{
 		Machines:      machines,
 		OneWayLatency: sc.Latency,
 		Replicate:     machines > 1, // paper: primary-backup on, logging off
-		Tree: core.Config{
-			NodeSize:        4096,
-			MaxLeafKeys:     64,
-			MaxInnerKeys:    64,
-			DirtyTraversals: dirty,
-		},
+		Tree:          tree,
 	}
 	cl := cluster.New(cfg)
 	for i := 0; i < trees; i++ {

@@ -93,9 +93,18 @@ func (o *outcomeLog) get(txid uint64) (uint8, bool) {
 // acknowledged apply is always reflected in the mirror (a sequence-gap
 // parking scheme would silently hold acked writes hostage to a batch that
 // may never arrive, losing them at promotion).
+//
+// resolved remembers transactions whose phase two has reached this mirror.
+// It guards the staged map the way item versions guard the items: a stage
+// message (or a full-state seed) that arrives AFTER the transaction's
+// resolve must not resurrect the prepare — a resurrected stale prepare
+// would carry old writes that a later promotion could re-commit over newer
+// committed data. It also seeds the promoted node's outcome log, so late
+// phase-two messages stay fenced across fail-over.
 type replicaStore struct {
-	items  map[Addr]*item
-	staged map[uint64]*staged
+	items    map[Addr]*item
+	staged   map[uint64]*staged
+	resolved *outcomeLog
 }
 
 // NewMemnode creates a memnode with the given identity.
@@ -430,7 +439,7 @@ func (m *Memnode) abort(txid uint64) {
 	hasBackup := m.hasBackup
 	m.mu.Unlock()
 	if hadStage && hasBackup {
-		_, _ = m.transport.Call(m.backup, &ReplicaResolveReq{From: m.id, Txid: txid})
+		_, _ = m.transport.Call(m.backup, &ReplicaResolveReq{From: m.id, Txid: txid, Aborted: true})
 	}
 }
 
@@ -482,7 +491,11 @@ func (m *Memnode) release(txid uint64, st *staged) {
 func (m *Memnode) replica(from NodeID) *replicaStore {
 	rs := m.replicas[from]
 	if rs == nil {
-		rs = &replicaStore{items: make(map[Addr]*item), staged: make(map[uint64]*staged)}
+		rs = &replicaStore{
+			items:    make(map[Addr]*item),
+			staged:   make(map[uint64]*staged),
+			resolved: newOutcomeLog(8192),
+		}
 		m.replicas[from] = rs
 	}
 	return rs
@@ -503,6 +516,7 @@ func (m *Memnode) replicaApply(r *ReplicaApplyReq) {
 	}
 	if r.Txid != 0 {
 		delete(rs.staged, r.Txid)
+		rs.resolved.record(r.Txid, TxnCommitted)
 	}
 }
 
@@ -510,6 +524,9 @@ func (m *Memnode) replicaStage(r *ReplicaStageReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs := m.replica(r.From)
+	if _, done := rs.resolved.get(r.Txid); done {
+		return // stale (re-)mirror racing the resolve: do not resurrect
+	}
 	rs.staged[r.Txid] = &staged{
 		writes:       r.Writes,
 		participants: r.Participants,
@@ -520,9 +537,13 @@ func (m *Memnode) replicaStage(r *ReplicaStageReq) {
 func (m *Memnode) replicaResolve(r *ReplicaResolveReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if rs := m.replicas[r.From]; rs != nil {
-		delete(rs.staged, r.Txid)
+	rs := m.replica(r.From)
+	delete(rs.staged, r.Txid)
+	status := TxnCommitted
+	if r.Aborted {
+		status = TxnAborted
 	}
+	rs.resolved.record(r.Txid, status)
 }
 
 // PromoteReplica returns a new Memnode seeded with the mirrored state of the
@@ -539,6 +560,12 @@ func (m *Memnode) PromoteReplica(primary NodeID) *Memnode {
 			d := make([]byte, len(it.data))
 			copy(d, it.data)
 			nm.items[a] = &item{data: d, version: it.version}
+		}
+		// Carry the resolution log across promotion: without it a late
+		// phase-two message (or a stale staged seed) arriving after
+		// fail-over would not be fenced.
+		for _, txid := range rs.resolved.order {
+			nm.outcomes.record(txid, rs.resolved.m[txid])
 		}
 		for txid, st := range rs.staged {
 			addrs := touchedAddrs(nil, nil, st.writes)
@@ -560,18 +587,66 @@ func (m *Memnode) PromoteReplica(primary NodeID) *Memnode {
 // mirror under the per-address version guard, so concurrently arriving
 // replica applies are never regressed. Used when a promoted node takes over
 // backup duty for a primary whose previous mirror died with the old host.
-func (m *Memnode) SeedReplica(primary NodeID, addrs []Addr, data [][]byte, versions []uint64) {
+//
+// The primary's in-flight prepares are merged too: without them, a second
+// crash of the primary would promote a mirror with no knowledge of
+// transactions other participants already voted yes on, and a commit
+// decision could silently lose this primary's writes. The snapshot may race
+// the primary's own resolves — a transaction staged when the snapshot was
+// taken can commit or abort before the seed lands here — so the merge is
+// guarded by the mirror's resolution log, exactly like stage messages: a
+// seed never resurrects a prepare whose resolve this mirror has seen.
+func (m *Memnode) SeedReplica(primary NodeID, st *SnapshotStateResp) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	rs := m.replica(primary)
-	for i := range addrs {
-		cur := rs.items[addrs[i]]
-		if cur != nil && cur.version >= versions[i] {
+	for i := range st.Addrs {
+		cur := rs.items[st.Addrs[i]]
+		if cur != nil && cur.version >= st.Versions[i] {
 			continue
 		}
-		d := make([]byte, len(data[i]))
-		copy(d, data[i])
-		rs.items[addrs[i]] = &item{data: d, version: versions[i]}
+		d := make([]byte, len(st.Data[i]))
+		copy(d, st.Data[i])
+		rs.items[st.Addrs[i]] = &item{data: d, version: st.Versions[i]}
+	}
+	for i, txid := range st.StagedTxids {
+		if _, done := rs.resolved.get(txid); done {
+			continue // resolved while the seed was in flight
+		}
+		if _, ok := rs.staged[txid]; ok {
+			continue
+		}
+		rs.staged[txid] = &staged{
+			writes:       st.StagedWrites[i],
+			participants: append([]NodeID(nil), st.StagedParticipants[i]...),
+			preparedAt:   time.Now(),
+		}
+	}
+}
+
+// RemirrorStaged forwards every staged (prepared, unresolved) transaction on
+// this node to its backup. A freshly promoted node calls this after its
+// backup link is re-armed: the prepares it inherited at promotion were
+// mirrored to the dead host's backup chain, and must reach the new one
+// before this node can be allowed to fail in turn.
+func (m *Memnode) RemirrorStaged() {
+	m.mu.Lock()
+	if !m.hasBackup {
+		m.mu.Unlock()
+		return
+	}
+	reqs := make([]*ReplicaStageReq, 0, len(m.staged))
+	for txid, st := range m.staged {
+		reqs = append(reqs, &ReplicaStageReq{
+			From: m.id, Txid: txid,
+			Writes: st.writes, Participants: append([]NodeID(nil), st.participants...),
+		})
+	}
+	backup := m.backup
+	tr := m.transport
+	m.mu.Unlock()
+	for _, r := range reqs {
+		_, _ = tr.Call(backup, r)
 	}
 }
 
@@ -604,6 +679,11 @@ func (m *Memnode) snapshotState() *SnapshotStateResp {
 		resp.Addrs = append(resp.Addrs, a)
 		resp.Data = append(resp.Data, d)
 		resp.Versions = append(resp.Versions, it.version)
+	}
+	for txid, st := range m.staged {
+		resp.StagedTxids = append(resp.StagedTxids, txid)
+		resp.StagedWrites = append(resp.StagedWrites, st.writes)
+		resp.StagedParticipants = append(resp.StagedParticipants, append([]NodeID(nil), st.participants...))
 	}
 	return resp
 }

@@ -199,6 +199,60 @@ func TestRecoveryBackgroundLoop(t *testing.T) {
 	<-done
 }
 
+// TestStaleStagedMirrorNotResurrected: stage/seed messages that race a
+// transaction's resolve must not re-install the prepare in a backup's
+// mirror, and the resolution survives promotion — a resurrected stale
+// prepare would let recovery re-commit old writes over newer data.
+func TestStaleStagedMirrorNotResurrected(t *testing.T) {
+	b := NewMemnode(1)
+	parts := []NodeID{0, 1}
+	w := []WriteItem{{Node: 0, Addr: 900, Data: []byte("stale")}}
+	mustAck := func(req any) {
+		t.Helper()
+		if _, err := b.HandleRPC(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAck(&ReplicaStageReq{From: 0, Txid: 202, Writes: w, Participants: parts})
+	mustAck(&ReplicaResolveReq{From: 0, Txid: 202, Aborted: true})
+	// A delayed duplicate stage (e.g. a promoted node's re-mirror racing
+	// the resolve) arrives after resolution.
+	mustAck(&ReplicaStageReq{From: 0, Txid: 202, Writes: w, Participants: parts})
+	// A full-state seed carrying the same stale prepare arrives too.
+	b.SeedReplica(0, &SnapshotStateResp{
+		StagedTxids:        []uint64{202},
+		StagedWrites:       [][]WriteItem{w},
+		StagedParticipants: [][]NodeID{parts},
+	})
+
+	nm := b.PromoteReplica(0)
+	resp, err := nm.HandleRPC(&TxnStatusReq{Txid: 202})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not resurrected as prepared, and the abort outcome crossed promotion
+	// so a late commit stays fenced.
+	if got := resp.(*TxnStatusResp).Status; got != TxnAborted {
+		t.Fatalf("status after promotion = %d, want aborted", got)
+	}
+	if _, err := nm.HandleRPC(&CommitReq{Txid: 202}); err != nil {
+		t.Fatal(err)
+	}
+	if r, _ := nm.HandleRPC(&ScanReq{MinAddr: 900, MaxAddr: 901, PrefixLen: 8}); len(r.(*ScanResp).Items) != 0 {
+		t.Fatal("late commit applied a resurrected stale prepare")
+	}
+	// Committed resolutions are remembered the same way: an apply with a
+	// txid fences later stage messages for it.
+	mustAck(&ReplicaStageReq{From: 0, Txid: 303, Writes: w, Participants: parts})
+	mustAck(&ReplicaApplyReq{From: 0, Txid: 303, Addrs: []Addr{900}, Data: [][]byte{[]byte("v")}, Versions: []uint64{1}})
+	mustAck(&ReplicaStageReq{From: 0, Txid: 303, Writes: w, Participants: parts})
+	nm2 := b.PromoteReplica(0)
+	resp, _ = nm2.HandleRPC(&TxnStatusReq{Txid: 303})
+	if got := resp.(*TxnStatusResp).Status; got != TxnCommitted {
+		t.Fatalf("status of committed txn after promotion = %d, want committed", got)
+	}
+}
+
 func TestOutcomeLogEviction(t *testing.T) {
 	o := newOutcomeLog(3)
 	for i := uint64(1); i <= 5; i++ {

@@ -212,10 +212,13 @@ type ReplicaStageReq struct {
 }
 
 // ReplicaResolveReq clears a mirrored prepare without applying writes (the
-// transaction aborted, or committed with nothing to write).
+// transaction aborted, or committed with nothing to write). Aborted records
+// which, so the backup's resolution log can fence late phase-two messages
+// even after it is promoted.
 type ReplicaResolveReq struct {
-	From NodeID
-	Txid uint64
+	From    NodeID
+	Txid    uint64
+	Aborted bool
 }
 
 // ScanReq asks a memnode to enumerate items in [MinAddr, MaxAddr). The
@@ -238,15 +241,26 @@ type ItemInfo struct {
 // ScanResp answers ScanReq.
 type ScanResp struct{ Items []ItemInfo }
 
-// SnapshotStateReq asks a memnode for a full copy of its primary items
+// SnapshotStateReq asks a memnode for a full copy of its primary state
 // (used when seeding a backup or transferring state between clusters).
 type SnapshotStateReq struct{}
 
-// SnapshotStateResp carries a memnode's full primary state.
+// SnapshotStateResp carries a memnode's full primary state: its committed
+// items plus its in-flight prepares (staged distributed transactions
+// awaiting phase two). The prepares matter for double faults: a freshly
+// promoted node that takes over backup duty for this memnode must mirror
+// them, or a second crash would strand a transaction some participant
+// already voted yes on — or, worse, drop writes the coordinator already
+// decided to commit.
 type SnapshotStateResp struct {
 	Addrs    []Addr
 	Data     [][]byte
 	Versions []uint64
+
+	// Staged prepares, parallel slices indexed by transaction.
+	StagedTxids        []uint64
+	StagedWrites       [][]WriteItem
+	StagedParticipants [][]NodeID
 }
 
 // StatsReq asks a memnode for its counters.

@@ -235,11 +235,28 @@ func (b *Batch) Reset() { b.ops = b.ops[:0] }
 // O(M) round trips instead of the ~2n of individual Puts (assuming warm
 // interior caches), which is the difference between network-bound and
 // memory-bound bulk loads.
+//
+// On a branching tree the batch lands on the mainline tip (the writable
+// version reached by following first branches from the initial snapshot);
+// use WriteBatchAt to target a specific branch.
 func (t *Tree) WriteBatch(b *Batch) error {
 	if b == nil || len(b.ops) == 0 {
 		return nil
 	}
 	return t.bt.ApplyBatch(b.ops)
+}
+
+// WriteBatchAt applies every operation in b to writable version sid of a
+// branching tree as ONE optimistic transaction, with the same leaf-grouped
+// sweep, prefetch, and atomicity as WriteBatch. Copy-on-write copies are
+// made along each touched root-to-leaf path, so sibling versions and frozen
+// ancestors are never disturbed. Writing to a version that has been
+// branched returns ErrNotWritable.
+func (t *Tree) WriteBatchAt(sid uint64, b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	return t.bt.ApplyBatchAt(sid, b.ops)
 }
 
 // Snapshot freezes the current state through the cluster's snapshot
@@ -403,6 +420,16 @@ func (tx *Tx) WriteBatch(t *Tree, b *Batch) error {
 		return nil
 	}
 	return t.bt.BatchTxn(tx.t, b.ops)
+}
+
+// WriteBatchAt assembles a whole batch targeting writable version sid of a
+// branching tree into the transaction; it commits atomically with the
+// transaction's other reads and writes.
+func (tx *Tx) WriteBatchAt(t *Tree, sid uint64, b *Batch) error {
+	if b == nil || len(b.ops) == 0 {
+		return nil
+	}
+	return t.bt.BatchTxnAt(tx.t, sid, b.ops)
 }
 
 // Txn atomically executes fn across the given trees, which must all be
