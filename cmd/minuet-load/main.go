@@ -9,18 +9,31 @@
 //	minuet-server -id 0 -listen :7070 &
 //	minuet-server -id 1 -listen :7071 &
 //	minuet-load -nodes 127.0.0.1:7070,127.0.0.1:7071 -n 50000
+//
+// Alternatively, -cluster N skips the manual server setup entirely: the
+// driver builds minuet-server, spawns N memnode processes on loopback ports
+// (via internal/prochost), runs the load against them, and tears everything
+// down. This is the one-command smoke test CI runs:
+//
+//	minuet-load -cluster 3 -n 20000 -batch 64
+//
+// -legacy switches the transport to protocol v1 (one synchronous request
+// per pooled connection) for comparing against the default multiplexed
+// protocol v2; see docs/WIRE.md.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"minuet/internal/alloc"
 	"minuet/internal/core"
 	"minuet/internal/netsim"
+	"minuet/internal/prochost"
 	"minuet/internal/rpcnet"
 	"minuet/internal/sinfonia"
 	"minuet/internal/ycsb"
@@ -29,6 +42,8 @@ import (
 func main() {
 	var (
 		nodesArg = flag.String("nodes", "127.0.0.1:7070", "comma-separated memnode addresses (node id = position)")
+		cluster  = flag.Int("cluster", 0, "spawn this many memnode server processes on loopback and run against them (overrides -nodes)")
+		legacy   = flag.Bool("legacy", false, "use the v1 one-request-per-connection protocol instead of multiplexing")
 		n        = flag.Uint64("n", 10_000, "records to load")
 		threads  = flag.Int("threads", 8, "loader threads")
 		runFor   = flag.Duration("run", 2*time.Second, "mixed-workload duration after loading")
@@ -40,12 +55,24 @@ func main() {
 
 	addrs := map[netsim.NodeID]string{}
 	var nodes []sinfonia.NodeID
-	for i, a := range strings.Split(*nodesArg, ",") {
-		id := sinfonia.NodeID(i)
-		addrs[netsim.NodeID(i)] = strings.TrimSpace(a)
-		nodes = append(nodes, id)
+	if *cluster > 0 {
+		fmt.Printf("booting %d-process cluster...\n", *cluster)
+		pc, err := prochost.Start(prochost.Options{Nodes: *cluster, Output: os.Stderr})
+		if err != nil {
+			log.Fatalf("minuet-load: start cluster: %v", err)
+		}
+		defer pc.Close()
+		addrs = pc.Addrs()
+		nodes = pc.NodeIDs()
+	} else {
+		for i, a := range strings.Split(*nodesArg, ",") {
+			id := sinfonia.NodeID(i)
+			addrs[netsim.NodeID(i)] = strings.TrimSpace(a)
+			nodes = append(nodes, id)
+		}
 	}
 	tr := rpcnet.NewClient(addrs)
+	tr.Legacy = *legacy
 	defer tr.Close()
 	client := sinfonia.NewClient(tr, nodes)
 	al := alloc.New(client, 4096, 64)

@@ -8,6 +8,10 @@
 // tree, exported over the transport as an RPC endpoint so that proxies pay
 // a network round trip to create or borrow snapshots, exactly as clients of
 // the paper's centralized service do.
+//
+// This package is the in-process deployment; internal/prochost is its
+// multi-process counterpart, spawning real minuet-server processes over
+// TCP. See docs/ARCHITECTURE.md for how the two relate.
 package cluster
 
 import (

@@ -442,9 +442,10 @@ func (bt *BTree) removeAt(t *dyntx.Txn, sid uint64, root Ptr, k wire.Key) (bool,
 	return true, nil
 }
 
-// Get looks up k at the tip (strictly serializable).
+// Get looks up k at the tip (strictly serializable). On a branching tree
+// the tip is the mainline's current writable version (see injectTip).
 func (bt *BTree) Get(k wire.Key) (val []byte, ok bool, err error) {
-	err = bt.run(func(t *dyntx.Txn) error {
+	err = bt.runTip(func(t *dyntx.Txn) error {
 		var e error
 		val, ok, e = bt.GetTxn(t, k)
 		return e
@@ -452,14 +453,17 @@ func (bt *BTree) Get(k wire.Key) (val []byte, ok bool, err error) {
 	return val, ok, err
 }
 
-// Put inserts or updates k at the tip.
+// Put inserts or updates k at the tip. On a branching tree the write lands
+// on the mainline's current writable version, re-resolving if a concurrent
+// branch freezes it mid-flight.
 func (bt *BTree) Put(k wire.Key, v []byte) error {
-	return bt.run(func(t *dyntx.Txn) error { return bt.PutTxn(t, k, v) })
+	return bt.runTip(func(t *dyntx.Txn) error { return bt.PutTxn(t, k, v) })
 }
 
-// Remove deletes k at the tip, reporting whether it was present.
+// Remove deletes k at the tip, reporting whether it was present. Branching
+// trees resolve the tip like Put.
 func (bt *BTree) Remove(k wire.Key) (existed bool, err error) {
-	err = bt.run(func(t *dyntx.Txn) error {
+	err = bt.runTip(func(t *dyntx.Txn) error {
 		var e error
 		existed, e = bt.RemoveTxn(t, k)
 		return e

@@ -77,9 +77,10 @@ func (bt *BTree) ScanTipTxn(t *dyntx.Txn, start wire.Key, limit int) ([]KV, erro
 	return out, nil
 }
 
-// ScanTip runs ScanTipTxn as its own strictly serializable transaction.
+// ScanTip runs ScanTipTxn as its own strictly serializable transaction. On
+// a branching tree the tip is the mainline's current writable version.
 func (bt *BTree) ScanTip(start wire.Key, limit int) (out []KV, err error) {
-	err = bt.run(func(t *dyntx.Txn) error {
+	err = bt.runTip(func(t *dyntx.Txn) error {
 		var e error
 		out, e = bt.ScanTipTxn(t, start, limit)
 		return e

@@ -327,7 +327,25 @@ func (bt *BTree) invalidateTip() {
 // read set (§4.1) and returns them. Every up-to-date read and all writes
 // must validate these objects; replication makes the validation local to
 // whichever memnode the commit engages.
+//
+// On a branching tree the fixed tip cells are not maintained — root updates
+// live in the snapshot catalog — so the tip is instead resolved by following
+// the mainline (first-branch chain) from the initial snapshot, and the
+// resolved version's catalog slot joins the read set via injectBranch. A
+// concurrent branch that freezes the tip mid-flight surfaces as
+// ErrNotWritable; tip-level operations re-resolve and retry (runTip).
 func (bt *BTree) injectTip(t *dyntx.Txn) (sid uint64, root Ptr, err error) {
+	if bt.cfg.Branching {
+		tip, err := bt.ResolveTip(initialSnapID)
+		if err != nil {
+			return 0, Ptr{}, err
+		}
+		root, err := bt.injectBranch(t, tip)
+		if err != nil {
+			return 0, Ptr{}, err
+		}
+		return tip, root, nil
+	}
 	tip, err := bt.loadTip()
 	if err != nil {
 		return 0, Ptr{}, err
@@ -407,6 +425,27 @@ func (bt *BTree) run(fn func(t *dyntx.Txn) error) error {
 		return err
 	}
 	return fmt.Errorf("core: giving up after %d attempts: %w", maxAttempts, lastErr)
+}
+
+// runTip is run for tip-addressed operations (Get/Put/Remove/ScanTip): on a
+// branching tree, a concurrent CreateBranch can freeze the mainline tip
+// between injectTip's resolution and commit, surfacing as ErrNotWritable.
+// The operation then re-resolves the mainline and retries (the paper's
+// default retry rule, §5.1) instead of leaking the error to a caller that
+// never addressed a version explicitly.
+func (bt *BTree) runTip(fn func(t *dyntx.Txn) error) error {
+	if !bt.cfg.Branching {
+		return bt.run(fn)
+	}
+	var lastErr error
+	for attempt := 0; attempt < 64; attempt++ {
+		err := bt.run(fn)
+		if err == nil || !errors.Is(err, ErrNotWritable) {
+			return err
+		}
+		lastErr = err
+	}
+	return lastErr
 }
 
 // SetNonBlockingSnapshots flips the snapshot-blocking ablation flag on an

@@ -1,0 +1,308 @@
+// Package prochost spawns and babysits a real multi-process Minuet cluster:
+// N cmd/minuet-server memnodes as separate OS processes on loopback TCP,
+// with port assignment, readiness polling, kill/respawn fault injection,
+// and teardown. It is the scaffolding behind the multi-process integration
+// tests and `minuet-load -cluster`, in the spirit of renterd's TestCluster
+// and bytetorrent's createCluster harnesses: boot everything, retry until
+// healthy, hand the caller a transport.
+//
+// The harness builds the server binary from the enclosing module with `go
+// build` unless the caller supplies a prebuilt one, so `go test` runs need
+// nothing but the Go toolchain. Tests using it should skip under -short.
+package prochost
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"minuet/internal/netsim"
+	"minuet/internal/rpcnet"
+	"minuet/internal/sinfonia"
+)
+
+// Options configures a process cluster. The zero value starts one
+// unreplicated memnode with a freshly built server binary.
+type Options struct {
+	// Nodes is the number of memnode processes (default 1).
+	Nodes int
+	// Replicate wires primary-backup replication memnode i → i+1 mod n,
+	// mirroring the in-process cluster's ring.
+	Replicate bool
+	// ServerBin is the path to a prebuilt minuet-server binary. Empty
+	// means build one from the enclosing module into a temp directory.
+	ServerBin string
+	// Output receives each server process's stdout/stderr (nil = discard).
+	Output io.Writer
+	// ReadyTimeout bounds the per-node readiness wait (default 15s).
+	ReadyTimeout time.Duration
+}
+
+// Node is one spawned memnode process.
+type Node struct {
+	// ID is the memnode's Sinfonia node id (its index in the cluster).
+	ID int
+	// Addr is the node's TCP listen address.
+	Addr string
+
+	mu   sync.Mutex
+	cmd  *exec.Cmd
+	done chan struct{} // closed when the process has exited
+}
+
+// Cluster is a set of running memnode processes.
+type Cluster struct {
+	opts   Options
+	bin    string
+	tmpDir string // "" when the binary was supplied by the caller
+	nodes  []*Node
+}
+
+// Retry calls fn up to tries times, sleeping wait between attempts, and
+// returns nil on the first success or the last error.
+func Retry(tries int, wait time.Duration, fn func() error) error {
+	var err error
+	for i := 0; i < tries; i++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		time.Sleep(wait)
+	}
+	return err
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", errors.New("prochost: no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// BuildServer builds cmd/minuet-server into dir and returns the binary
+// path.
+func BuildServer(dir string) (string, error) {
+	root, err := moduleRoot()
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "minuet-server")
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/minuet-server")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("prochost: build minuet-server: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// reservePorts grabs n distinct loopback ports by briefly listening on
+// them. The listeners are closed before the servers start, so a port can in
+// principle be stolen in the window; readiness polling surfaces that as a
+// startup failure rather than a hang.
+func reservePorts(n int) ([]string, error) {
+	addrs := make([]string, n)
+	lns := make([]net.Listener, 0, n)
+	defer func() {
+		for _, ln := range lns {
+			ln.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns = append(lns, ln)
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs, nil
+}
+
+// Start boots a cluster of memnode processes and blocks until every one
+// answers RPCs (or the readiness timeout passes, in which case everything
+// started is torn down).
+func Start(opts Options) (*Cluster, error) {
+	if opts.Nodes <= 0 {
+		opts.Nodes = 1
+	}
+	if opts.ReadyTimeout <= 0 {
+		opts.ReadyTimeout = 15 * time.Second
+	}
+	c := &Cluster{opts: opts, bin: opts.ServerBin}
+	if c.bin == "" {
+		dir, err := os.MkdirTemp("", "prochost-*")
+		if err != nil {
+			return nil, err
+		}
+		c.tmpDir = dir
+		bin, err := BuildServer(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		c.bin = bin
+	}
+
+	addrs, err := reservePorts(opts.Nodes)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	for i := 0; i < opts.Nodes; i++ {
+		c.nodes = append(c.nodes, &Node{ID: i, Addr: addrs[i]})
+	}
+	for _, n := range c.nodes {
+		if err := c.spawn(n); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	for _, n := range c.nodes {
+		if err := c.WaitReady(n.ID); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("prochost: node %d not ready: %w", n.ID, err)
+		}
+	}
+	return c, nil
+}
+
+// spawn starts (or restarts) node n's process with its fixed id, port, and
+// replication wiring.
+func (c *Cluster) spawn(n *Node) error {
+	args := []string{"-id", strconv.Itoa(n.ID), "-listen", n.Addr}
+	if c.opts.Replicate && len(c.nodes) > 1 {
+		backup := c.nodes[(n.ID+1)%len(c.nodes)]
+		args = append(args, "-backup-id", strconv.Itoa(backup.ID), "-backup-addr", backup.Addr)
+	}
+	cmd := exec.Command(c.bin, args...)
+	out := c.opts.Output
+	if out == nil {
+		out = io.Discard
+	}
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	done := make(chan struct{})
+	go func() {
+		cmd.Wait()
+		close(done)
+	}()
+	n.mu.Lock()
+	n.cmd = cmd
+	n.done = done
+	n.mu.Unlock()
+	return nil
+}
+
+// WaitReady polls node i with Stats RPCs until it answers or the readiness
+// timeout passes.
+func (c *Cluster) WaitReady(i int) error {
+	n := c.nodes[i]
+	const wait = 25 * time.Millisecond
+	tries := int(c.opts.ReadyTimeout/wait) + 1
+	return Retry(tries, wait, func() error {
+		tr := rpcnet.NewClient(map[netsim.NodeID]string{netsim.NodeID(n.ID): n.Addr})
+		defer tr.Close()
+		_, err := tr.Call(netsim.NodeID(n.ID), &sinfonia.StatsReq{})
+		return err
+	})
+}
+
+// Nodes returns the cluster size.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Node returns node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Addrs returns the node id → TCP address map for building transports.
+func (c *Cluster) Addrs() map[netsim.NodeID]string {
+	m := make(map[netsim.NodeID]string, len(c.nodes))
+	for _, n := range c.nodes {
+		m[netsim.NodeID(n.ID)] = n.Addr
+	}
+	return m
+}
+
+// NodeIDs returns the Sinfonia node ids in order.
+func (c *Cluster) NodeIDs() []sinfonia.NodeID {
+	ids := make([]sinfonia.NodeID, len(c.nodes))
+	for i := range c.nodes {
+		ids[i] = sinfonia.NodeID(i)
+	}
+	return ids
+}
+
+// NewTransport returns a fresh multiplexed TCP transport addressing every
+// node. The caller owns Close.
+func (c *Cluster) NewTransport() *rpcnet.Client { return rpcnet.NewClient(c.Addrs()) }
+
+// Kill force-kills node i's process and waits for it to exit. The node's
+// port stays reserved for Respawn.
+func (c *Cluster) Kill(i int) error {
+	n := c.nodes[i]
+	n.mu.Lock()
+	cmd, done := n.cmd, n.done
+	n.cmd = nil
+	n.mu.Unlock()
+	if cmd == nil {
+		return nil
+	}
+	if cmd.Process != nil {
+		cmd.Process.Kill()
+	}
+	if done != nil {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			return fmt.Errorf("prochost: node %d did not exit after kill", i)
+		}
+	}
+	return nil
+}
+
+// Respawn restarts node i (fresh, empty state — memnodes are in-memory) on
+// its original port and waits for readiness.
+func (c *Cluster) Respawn(i int) error {
+	n := c.nodes[i]
+	n.mu.Lock()
+	running := n.cmd != nil
+	n.mu.Unlock()
+	if running {
+		return fmt.Errorf("prochost: node %d is still running", i)
+	}
+	if err := c.spawn(n); err != nil {
+		return err
+	}
+	return c.WaitReady(i)
+}
+
+// Close kills every process and removes the temp build directory. Safe to
+// call more than once.
+func (c *Cluster) Close() {
+	for i := range c.nodes {
+		c.Kill(i)
+	}
+	if c.tmpDir != "" {
+		os.RemoveAll(c.tmpDir)
+		c.tmpDir = ""
+	}
+}

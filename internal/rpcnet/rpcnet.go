@@ -1,12 +1,23 @@
 // Package rpcnet is a real TCP transport for Minuet, interchangeable with
 // the in-process simulator: it implements netsim.Transport on the client
 // side and serves any netsim.Handler (normally a Sinfonia memnode) on the
-// server side. Framing is a 4-byte big-endian length prefix around a
-// gob-encoded envelope; connections are pooled per destination and used
-// synchronously (one in-flight request per pooled connection).
+// server side.
+//
+// The transport is pipelined and multiplexed (protocol version 2): many
+// requests share one connection, each frame carries a request id, and
+// responses complete asynchronously in whatever order the server finishes
+// them. A client keeps a small per-peer connection budget (ConnsPerPeer)
+// and bounds the in-flight requests per connection (Window); when every
+// slot is taken, callers queue for up to QueueWait and then fail with
+// ErrBackpressure. Payloads remain gob-encoded envelopes; only the framing
+// changed between protocol versions. The server auto-detects the protocol
+// per connection, so old one-shot (v1) clients keep working. See
+// docs/WIRE.md for the wire contract and internal/wire for the frame
+// header codec.
 //
 // cmd/minuet-server and cmd/minuet-load use this package to run a memnode
-// cluster as separate OS processes.
+// cluster as separate OS processes; internal/prochost spawns and babysits
+// such clusters for tests and load drivers.
 package rpcnet
 
 import (
@@ -19,8 +30,8 @@ import (
 	"net"
 	"sync"
 
-	"minuet/internal/netsim"
 	"minuet/internal/sinfonia"
+	"minuet/internal/wire"
 )
 
 func init() {
@@ -47,232 +58,102 @@ func init() {
 	gob.Register(&sinfonia.TxnStatusResp{})
 }
 
-// envelope is the on-wire message: a request or a response.
+// ErrBackpressure is returned when a call could not acquire an in-flight
+// window slot within the client's QueueWait: every connection to the peer
+// is running at its full pipelining window. The request was never sent.
+var ErrBackpressure = errors.New("rpcnet: in-flight window full")
+
+// maxFrameV1 bounds a legacy (v1) frame. Mirrors wire.MaxFramePayload.
+const maxFrameV1 = wire.MaxFramePayload
+
+// envelope is the gob payload of every frame: a request or a response.
 type envelope struct {
 	Body any
 	Err  string
 }
 
-// writeFrame writes one length-prefixed gob message.
-func writeFrame(conn net.Conn, e *envelope) error {
+// encodeEnvelope gob-encodes e.
+func encodeEnvelope(e *envelope) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeEnvelope decodes a frame payload written by encodeEnvelope.
+func decodeEnvelope(p []byte) (*envelope, error) {
+	var e envelope
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&e); err != nil {
+		return nil, err
+	}
+	return &e, nil
+}
+
+// writeFrameV1 writes one legacy length-prefixed gob message.
+func writeFrameV1(conn net.Conn, e *envelope) error {
+	payload, err := encodeEnvelope(e)
+	if err != nil {
 		return err
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := conn.Write(buf.Bytes())
+	buf := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	_, err = conn.Write(buf)
 	return err
 }
 
-// readFrame reads one length-prefixed gob message.
-func readFrame(conn net.Conn) (*envelope, error) {
+// readFrameV1 reads one legacy length-prefixed gob message.
+func readFrameV1(conn net.Conn) (*envelope, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > 64<<20 {
+	return readFrameV1Body(conn, binary.BigEndian.Uint32(hdr[:]))
+}
+
+// readFrameV1Body reads a legacy frame whose length prefix has already been
+// consumed (the server sniffs the first 4 bytes to detect the protocol).
+func readFrameV1Body(conn net.Conn, n uint32) (*envelope, error) {
+	if n > maxFrameV1 {
 		return nil, fmt.Errorf("rpcnet: frame too large: %d", n)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(conn, body); err != nil {
 		return nil, err
 	}
-	var e envelope
-	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&e); err != nil {
-		return nil, err
+	return decodeEnvelope(body)
+}
+
+// writeFrameMux writes one multiplexed frame (header + payload) as a single
+// conn.Write so concurrent writers never interleave bytes; wmu serializes
+// the call.
+func writeFrameMux(conn net.Conn, wmu *sync.Mutex, id uint64, flags wire.FrameFlags, payload []byte) error {
+	if len(payload) > wire.MaxFramePayload {
+		return fmt.Errorf("rpcnet: frame payload too large: %d", len(payload))
 	}
-	return &e, nil
+	hdr := wire.FrameHeader{ID: id, Flags: flags, Length: uint32(len(payload))}
+	buf := hdr.AppendFrameHeader(make([]byte, 0, wire.FrameHeaderLen+len(payload)))
+	buf = append(buf, payload...)
+	wmu.Lock()
+	defer wmu.Unlock()
+	_, err := conn.Write(buf)
+	return err
 }
 
-// Server serves a netsim.Handler over TCP.
-type Server struct {
-	ln      net.Listener
-	handler netsim.Handler
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
-	conns   map[net.Conn]struct{}
-}
-
-// Serve starts serving handler on listener ln. It returns immediately;
-// Close stops the server.
-func Serve(ln net.Listener, handler netsim.Handler) *Server {
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
-	s.wg.Add(1)
-	go s.acceptLoop()
-	return s
-}
-
-// Listen is a convenience: listen on addr and serve handler.
-func Listen(addr string, handler netsim.Handler) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
+// readFrameMux reads one multiplexed frame.
+func readFrameMux(conn net.Conn) (wire.FrameHeader, []byte, error) {
+	var hb [wire.FrameHeaderLen]byte
+	if _, err := io.ReadFull(conn, hb[:]); err != nil {
+		return wire.FrameHeader{}, nil, err
+	}
+	hdr, err := wire.ParseFrameHeader(hb[:])
 	if err != nil {
-		return nil, err
+		return wire.FrameHeader{}, nil, err
 	}
-	return Serve(ln, handler), nil
-}
-
-// Addr returns the server's listen address.
-func (s *Server) Addr() string { return s.ln.Addr().String() }
-
-func (s *Server) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
-			conn.Close()
-			return
-		}
-		s.conns[conn] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go s.serveConn(conn)
+	payload := make([]byte, hdr.Length)
+	if _, err := io.ReadFull(conn, payload); err != nil {
+		return wire.FrameHeader{}, nil, err
 	}
-}
-
-func (s *Server) serveConn(conn net.Conn) {
-	defer s.wg.Done()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-	}()
-	for {
-		req, err := readFrame(conn)
-		if err != nil {
-			return
-		}
-		resp, err := s.handler.HandleRPC(req.Body)
-		out := &envelope{Body: resp}
-		if err != nil {
-			out.Err = err.Error()
-			out.Body = nil
-		}
-		if err := writeFrame(conn, out); err != nil {
-			return
-		}
-	}
-}
-
-// Close stops accepting and closes all connections.
-func (s *Server) Close() {
-	s.mu.Lock()
-	s.closed = true
-	conns := make([]net.Conn, 0, len(s.conns))
-	for c := range s.conns {
-		conns = append(conns, c)
-	}
-	s.mu.Unlock()
-	s.ln.Close()
-	for _, c := range conns {
-		c.Close()
-	}
-	s.wg.Wait()
-}
-
-// Client is a netsim.Transport that reaches nodes over TCP.
-type Client struct {
-	mu    sync.Mutex
-	addrs map[netsim.NodeID]string
-	pools map[netsim.NodeID]chan net.Conn
-	// PoolSize bounds pooled connections per node (default 16).
-	PoolSize int
-}
-
-// NewClient returns a TCP transport over the given node address map.
-func NewClient(addrs map[netsim.NodeID]string) *Client {
-	m := make(map[netsim.NodeID]string, len(addrs))
-	for k, v := range addrs {
-		m[k] = v
-	}
-	return &Client{addrs: m, pools: make(map[netsim.NodeID]chan net.Conn), PoolSize: 16}
-}
-
-// SetAddr adds or replaces a node's address (used after fail-over).
-func (c *Client) SetAddr(id netsim.NodeID, addr string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.addrs[id] = addr
-	delete(c.pools, id) // drop stale pool; connections re-dial lazily
-}
-
-func (c *Client) getConn(id netsim.NodeID) (net.Conn, chan net.Conn, error) {
-	c.mu.Lock()
-	addr, ok := c.addrs[id]
-	if !ok {
-		c.mu.Unlock()
-		return nil, nil, fmt.Errorf("%w: node %d has no address", netsim.ErrUnreachable, id)
-	}
-	pool, ok := c.pools[id]
-	if !ok {
-		pool = make(chan net.Conn, c.PoolSize)
-		c.pools[id] = pool
-	}
-	c.mu.Unlock()
-
-	select {
-	case conn := <-pool:
-		return conn, pool, nil
-	default:
-	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, nil, fmt.Errorf("%w: %v", netsim.ErrUnreachable, err)
-	}
-	return conn, pool, nil
-}
-
-// Call implements netsim.Transport.
-func (c *Client) Call(to netsim.NodeID, req any) (any, error) {
-	conn, pool, err := c.getConn(to)
-	if err != nil {
-		return nil, err
-	}
-	if err := writeFrame(conn, &envelope{Body: req}); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", netsim.ErrUnreachable, err)
-	}
-	resp, err := readFrame(conn)
-	if err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("%w: %v", netsim.ErrUnreachable, err)
-	}
-	select {
-	case pool <- conn:
-	default:
-		conn.Close() // pool full
-	}
-	if resp.Err != "" {
-		return nil, errors.New(resp.Err)
-	}
-	return resp.Body, nil
-}
-
-// Close drops all pooled connections.
-func (c *Client) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, pool := range c.pools {
-		for {
-			select {
-			case conn := <-pool:
-				conn.Close()
-				continue
-			default:
-			}
-			break
-		}
-	}
-	c.pools = make(map[netsim.NodeID]chan net.Conn)
+	return hdr, payload, nil
 }

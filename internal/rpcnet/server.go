@@ -1,0 +1,192 @@
+package rpcnet
+
+import (
+	"io"
+	"net"
+	"sync"
+
+	"minuet/internal/netsim"
+	"minuet/internal/wire"
+)
+
+// defaultServerInflight bounds concurrently-executing requests per muxed
+// connection. The read loop stops pulling frames off the socket while at
+// capacity, so an overloaded server pushes back through TCP flow control
+// instead of buffering without bound.
+const defaultServerInflight = 256
+
+// Server serves a netsim.Handler over TCP. Each accepted connection is
+// protocol-sniffed: multiplexed (v2) connections open with the wire
+// preamble and pipeline many requests, each handled on its own goroutine
+// with responses written back in completion order; legacy (v1) connections
+// are served synchronously, one request at a time, exactly as the old
+// transport did.
+type Server struct {
+	ln      net.Listener
+	handler netsim.Handler
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	conns   map[net.Conn]struct{}
+
+	// Inflight caps concurrently-executing requests per multiplexed
+	// connection (default 256). Set before Serve only.
+	Inflight int
+}
+
+// Serve starts serving handler on listener ln. It returns immediately;
+// Close stops the server.
+func Serve(ln net.Listener, handler netsim.Handler) *Server {
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{}), Inflight: defaultServerInflight}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Listen is a convenience: listen on addr and serve handler.
+func Listen(addr string, handler netsim.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return Serve(ln, handler), nil
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// serveConn sniffs the connection's protocol version from its first four
+// bytes and dispatches to the matching loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var first [wire.FramePreambleLen]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	_, isMux, err := wire.ParseFramePreamble(first[:])
+	if err != nil {
+		return // recognized preamble, unsupported version: drop the connection
+	}
+	if isMux {
+		s.serveMux(conn)
+		return
+	}
+	// v1: the sniffed bytes were the first frame's length prefix.
+	s.serveV1(conn, first)
+}
+
+// serveV1 is the legacy one-request-per-connection-at-a-time loop. first
+// holds the already-consumed length prefix of the first frame.
+func (s *Server) serveV1(conn net.Conn, first [4]byte) {
+	req, err := readFrameV1Body(conn, uint32(first[0])<<24|uint32(first[1])<<16|uint32(first[2])<<8|uint32(first[3]))
+	for {
+		if err != nil {
+			return
+		}
+		resp, herr := s.handler.HandleRPC(req.Body)
+		out := &envelope{Body: resp}
+		if herr != nil {
+			out.Err = herr.Error()
+			out.Body = nil
+		}
+		if err = writeFrameV1(conn, out); err != nil {
+			return
+		}
+		req, err = readFrameV1(conn)
+	}
+}
+
+// serveMux is the pipelined loop: frames are read continuously and each
+// request runs on its own goroutine, bounded by Inflight. Responses carry
+// the request's id and are written back in completion order, not arrival
+// order — that reordering freedom is what lets one slow request stop
+// blocking the connection.
+func (s *Server) serveMux(conn net.Conn) {
+	inflight := s.Inflight
+	if inflight <= 0 {
+		inflight = defaultServerInflight
+	}
+	sem := make(chan struct{}, inflight)
+	var wmu sync.Mutex
+	for {
+		hdr, payload, err := readFrameMux(conn)
+		if err != nil {
+			return
+		}
+		// Blocking here (rather than shedding) is deliberate: the socket's
+		// receive window fills and the client's own in-flight budget is the
+		// backstop, so a slow server throttles its callers end to end.
+		sem <- struct{}{}
+		s.wg.Add(1)
+		go func(hdr wire.FrameHeader, payload []byte) {
+			defer s.wg.Done()
+			defer func() { <-sem }()
+			var out envelope
+			var flags wire.FrameFlags
+			env, derr := decodeEnvelope(payload)
+			if derr != nil {
+				out.Err = "rpcnet: bad request payload: " + derr.Error()
+				flags |= wire.FrameFlagError
+			} else {
+				resp, herr := s.handler.HandleRPC(env.Body)
+				if herr != nil {
+					out.Err = herr.Error()
+					flags |= wire.FrameFlagError
+				} else {
+					out.Body = resp
+				}
+			}
+			respPayload, eerr := encodeEnvelope(&out)
+			if eerr != nil {
+				respPayload, _ = encodeEnvelope(&envelope{Err: "rpcnet: response encode: " + eerr.Error()})
+				flags |= wire.FrameFlagError
+			}
+			// A write failure means the connection died; the read loop will
+			// observe it and exit, failing the peer's in-flight calls.
+			_ = writeFrameMux(conn, &wmu, hdr.ID, flags, respPayload)
+		}(hdr, payload)
+	}
+}
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// request handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+}

@@ -685,6 +685,16 @@ func (m *Memnode) snapshotState() *SnapshotStateResp {
 		resp.StagedWrites = append(resp.StagedWrites, st.writes)
 		resp.StagedParticipants = append(resp.StagedParticipants, append([]NodeID(nil), st.participants...))
 	}
+	for from, rs := range m.replicas {
+		for a, it := range rs.items {
+			d := make([]byte, len(it.data))
+			copy(d, it.data)
+			resp.MirrorFor = append(resp.MirrorFor, from)
+			resp.MirrorAddrs = append(resp.MirrorAddrs, a)
+			resp.MirrorData = append(resp.MirrorData, d)
+			resp.MirrorVersions = append(resp.MirrorVersions, it.version)
+		}
+	}
 	return resp
 }
 

@@ -261,6 +261,17 @@ type SnapshotStateResp struct {
 	StagedTxids        []uint64
 	StagedWrites       [][]WriteItem
 	StagedParticipants [][]NodeID
+
+	// Backup mirrors this node holds for other primaries, parallel slices
+	// indexed by mirrored item. Purely observational (SeedReplica ignores
+	// them); they let out-of-process tooling — the multi-process harness in
+	// internal/prochost in particular — verify that replication wired over
+	// real TCP actually landed, which in-process tests check by calling
+	// PromoteReplica directly.
+	MirrorFor      []NodeID
+	MirrorAddrs    []Addr
+	MirrorData     [][]byte
+	MirrorVersions []uint64
 }
 
 // StatsReq asks a memnode for its counters.

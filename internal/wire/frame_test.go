@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+func TestFramePreambleRoundTrip(t *testing.T) {
+	p := AppendFramePreamble(nil)
+	if len(p) != FramePreambleLen {
+		t.Fatalf("preamble length %d, want %d", len(p), FramePreambleLen)
+	}
+	v, ok, err := ParseFramePreamble(p)
+	if err != nil || !ok || v != FrameVersion {
+		t.Fatalf("parse preamble: v=%d ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestFramePreambleRejectsV1LengthPrefix(t *testing.T) {
+	// A v1 frame starts with a 4-byte big-endian length. Any plausible v1
+	// length must NOT be mistaken for a v2 preamble.
+	for _, n := range []uint32{0, 1, 512, 1 << 20, 64 << 20} {
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], n)
+		if _, ok, _ := ParseFramePreamble(hdr[:]); ok {
+			t.Fatalf("v1 length prefix %d parsed as v2 preamble", n)
+		}
+	}
+}
+
+func TestFramePreambleMagicExceedsV1Limit(t *testing.T) {
+	// Conversely: the v2 preamble, read as a v1 length prefix, must exceed
+	// the v1 frame size limit so a v1 server drops the connection instead
+	// of trying to read a bogus frame.
+	p := AppendFramePreamble(nil)
+	if n := binary.BigEndian.Uint32(p); n <= MaxFramePayload {
+		t.Fatalf("preamble reads as plausible v1 length %d", n)
+	}
+}
+
+func TestFramePreambleUnsupportedVersion(t *testing.T) {
+	p := AppendFramePreamble(nil)
+	p[3] = 99
+	v, ok, err := ParseFramePreamble(p)
+	if !ok || err == nil || v != 99 {
+		t.Fatalf("want recognized-but-unsupported, got v=%d ok=%v err=%v", v, ok, err)
+	}
+}
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	for _, h := range []FrameHeader{
+		{},
+		{ID: 1, Flags: FrameFlagError, Length: 0},
+		{ID: 1<<64 - 1, Flags: FrameFlagError | FrameFlagThrottled, Length: MaxFramePayload},
+		{ID: 42, Length: 12345},
+	} {
+		enc := h.AppendFrameHeader(nil)
+		if len(enc) != FrameHeaderLen {
+			t.Fatalf("header length %d, want %d", len(enc), FrameHeaderLen)
+		}
+		got, err := ParseFrameHeader(enc)
+		if err != nil {
+			t.Fatalf("parse %+v: %v", h, err)
+		}
+		if got != h {
+			t.Fatalf("round trip: got %+v want %+v", got, h)
+		}
+	}
+}
+
+func TestFrameHeaderRejectsOversizedPayload(t *testing.T) {
+	enc := FrameHeader{ID: 7, Length: MaxFramePayload + 1}.AppendFrameHeader(nil)
+	if _, err := ParseFrameHeader(enc); err == nil {
+		t.Fatal("want error for payload above MaxFramePayload")
+	}
+}
+
+func TestFrameHeaderShortBuffer(t *testing.T) {
+	enc := FrameHeader{ID: 7, Length: 9}.AppendFrameHeader(nil)
+	if _, err := ParseFrameHeader(enc[:FrameHeaderLen-1]); err == nil {
+		t.Fatal("want error for truncated header")
+	}
+	if !bytes.Equal(enc, FrameHeader{ID: 7, Length: 9}.AppendFrameHeader(nil)) {
+		t.Fatal("encoding not deterministic")
+	}
+}

@@ -32,6 +32,12 @@
 //	}
 //	b.Delete([]byte("k00000"))
 //	if err := tree.WriteBatch(b); err != nil { ... }
+//
+// The same stack runs over real sockets: cmd/minuet-server hosts a memnode
+// per process, internal/rpcnet is the multiplexed TCP transport, and
+// internal/prochost spawns whole multi-process clusters for tests and
+// cmd/minuet-load. See docs/ARCHITECTURE.md for the layer map and
+// docs/WIRE.md for the wire protocol.
 package minuet
 
 import (
@@ -183,10 +189,13 @@ type Tree struct {
 // Name returns the tree's name.
 func (t *Tree) Name() string { return t.name }
 
-// Get returns the value for key at the tip (strictly serializable).
+// Get returns the value for key at the tip (strictly serializable). On a
+// branching tree the tip is the mainline's current writable version (the
+// chain of first branches from the initial version).
 func (t *Tree) Get(key []byte) (val []byte, ok bool, err error) { return t.bt.Get(key) }
 
-// Put inserts or replaces key at the tip.
+// Put inserts or replaces key at the tip (the mainline's writable version
+// on a branching tree; use PutAt to address a sibling branch).
 func (t *Tree) Put(key, val []byte) error { return t.bt.Put(key, val) }
 
 // Delete removes key at the tip, reporting whether it existed.
