@@ -1,0 +1,109 @@
+// Benchmarks and a restart test for durable memnodes: what group-committed
+// write-ahead logging costs on the batched write path, against the volatile
+// baseline, with and without fsync.
+package minuet
+
+import (
+	"testing"
+
+	"minuet/internal/ycsb"
+)
+
+// TestClusterDurableRestart is the top-level durability round trip: load a
+// tree on a durable cluster, drop the cluster without any shutdown
+// handshake, rebuild it over the same data directory, and read everything
+// back through a fresh tree handle.
+func TestClusterDurableRestart(t *testing.T) {
+	dir := t.TempDir()
+	const n = 500
+
+	c := NewCluster(Options{Machines: 3, DataDir: dir})
+	tree, err := c.CreateTree("orders")
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := tree.NewBatch()
+	for i := 0; i < n; i++ {
+		batch.Put(ycsb.Key(uint64(i)), ycsb.Value(uint64(i)))
+	}
+	if err := tree.WriteBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	c2 := NewCluster(Options{Machines: 3, DataDir: dir})
+	defer c2.Close()
+	tree2, err := c2.AdoptTree("orders")
+	if err != nil {
+		t.Fatalf("open tree after restart: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := tree2.Get(ycsb.Key(uint64(i)))
+		if err != nil || !ok || string(v) != string(ycsb.Value(uint64(i))) {
+			t.Fatalf("key %d after restart: %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+// BenchmarkBatchPutWAL prices durability on the batched write path (the
+// same 256-key batches as BenchmarkBatchPut): volatile memnodes, a
+// group-committed log without fsync, and a fully fsynced log. Reports
+// fsyncs per written key — group commit's whole point is to keep that
+// number far below the per-key and even per-batch record count.
+func BenchmarkBatchPutWAL(b *testing.B) {
+	const size = 256
+	for _, mode := range []string{"volatile", "wal-nofsync", "wal-fsync"} {
+		b.Run(mode, func(b *testing.B) {
+			opts := Options{Machines: 4}
+			if mode != "volatile" {
+				opts.DataDir = b.TempDir()
+				opts.NoFsync = mode == "wal-nofsync"
+			}
+			c := NewCluster(opts)
+			defer c.Close()
+			tree, err := c.CreateTree("bench")
+			if err != nil {
+				b.Fatal(err)
+			}
+			const preload = 20_000
+			batch := tree.NewBatch()
+			for i := 0; i < preload; i += 512 {
+				batch.Reset()
+				for j := i; j < i+512 && j < preload; j++ {
+					batch.Put(ycsb.Key(uint64(j)), ycsb.Value(uint64(j)))
+				}
+				if err := tree.WriteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			syncs0 := clusterSyncs(c)
+			b.ResetTimer()
+			keys := 0
+			for i := 0; i < b.N; i++ {
+				batch.Reset()
+				for j := 0; j < size; j++ {
+					k := uint64(i*size+j) % preload
+					batch.Put(ycsb.Key(k), ycsb.Value(k^0xBEEF))
+				}
+				if err := tree.WriteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+				keys += size
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(keys)/b.Elapsed().Seconds(), "keys/s")
+			if mode != "volatile" && keys > 0 {
+				b.ReportMetric(float64(clusterSyncs(c)-syncs0)/float64(keys), "fsyncs/key")
+			}
+		})
+	}
+}
+
+func clusterSyncs(c *Cluster) int64 {
+	var total int64
+	cl := c.Internal()
+	for i := 0; i < cl.Machines(); i++ {
+		total += cl.Memnode(i).WALStats().Syncs
+	}
+	return total
+}

@@ -6,9 +6,18 @@
 //
 //	minuet-server -id 0 -listen :7070
 //	minuet-server -id 1 -listen :7071 -backup-id 0 -backup-addr host0:7070
+//	minuet-server -id 0 -listen :7070 -data-dir /var/lib/minuet/node-0
 //
 // With -backup-* set, this memnode synchronously replicates every committed
 // write batch to the named backup node.
+//
+// With -data-dir set, the memnode keeps a write-ahead redo log (plus
+// periodic checkpoints) in that directory and recovers from it on start, so
+// acknowledged writes — including prepared distributed transactions —
+// survive a process or machine crash. -fsync=false trades machine-crash
+// durability for speed (commits still survive process crashes);
+// -checkpoint-bytes tunes how much log accumulates before a checkpoint
+// truncates it.
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"minuet/internal/netsim"
 	"minuet/internal/rpcnet"
 	"minuet/internal/sinfonia"
+	"minuet/internal/wal"
 )
 
 func main() {
@@ -30,10 +40,28 @@ func main() {
 		listen     = flag.String("listen", ":7070", "TCP listen address")
 		backupID   = flag.Int("backup-id", -1, "node id of the backup memnode (-1 = none)")
 		backupAddr = flag.String("backup-addr", "", "TCP address of the backup memnode")
+		dataDir    = flag.String("data-dir", "", "directory for the write-ahead log (empty = volatile)")
+		fsync      = flag.Bool("fsync", true, "fsync the log on commit (false: survive process crashes only)")
+		ckptBytes  = flag.Int64("checkpoint-bytes", 0, "log bytes between checkpoints (0 = default, <0 = never)")
 	)
 	flag.Parse()
 
-	mn := sinfonia.NewMemnode(sinfonia.NodeID(*id))
+	var mn *sinfonia.Memnode
+	if *dataDir != "" {
+		fs, err := wal.NewOSFS(*dataDir)
+		if err != nil {
+			log.Fatalf("minuet-server: %v", err)
+		}
+		mn, err = sinfonia.OpenDurable(sinfonia.NodeID(*id), fs, sinfonia.DurOptions{
+			NoFsync:         !*fsync,
+			CheckpointEvery: *ckptBytes,
+		})
+		if err != nil {
+			log.Fatalf("minuet-server: recover %s: %v", *dataDir, err)
+		}
+	} else {
+		mn = sinfonia.NewMemnode(sinfonia.NodeID(*id))
+	}
 	if *backupID >= 0 {
 		if *backupAddr == "" {
 			log.Fatal("minuet-server: -backup-id requires -backup-addr")
@@ -53,4 +81,7 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	srv.Close()
+	if err := mn.Close(); err != nil {
+		log.Printf("minuet-server: close wal: %v", err)
+	}
 }

@@ -23,6 +23,7 @@ import (
 	"minuet/internal/core"
 	"minuet/internal/netsim"
 	"minuet/internal/sinfonia"
+	"minuet/internal/wal"
 )
 
 // scsNodeID is the transport address of the snapshot creation service.
@@ -41,6 +42,15 @@ type Config struct {
 	Tree core.Config
 	// AllocExtent is the allocator's per-CAS extent size in blocks.
 	AllocExtent int
+	// Durability, when set, gives machine i a write-ahead log over the
+	// returned filesystem (see internal/wal); a nil return leaves that
+	// machine volatile. Building a cluster over filesystems that already
+	// hold a log recovers the memnodes from it — that is how the crash
+	// tests model a whole-cluster restart.
+	Durability func(machine int) wal.FS
+	// DurOpts configures the durable memnodes (fsync policy, checkpoint
+	// threshold).
+	DurOpts sinfonia.DurOptions
 }
 
 // FillDefaults populates zero fields.
@@ -95,8 +105,20 @@ type snapshotResp struct {
 	Borrowed bool
 }
 
-// New builds a cluster.
+// New builds a cluster, panicking on failure. Only durable log recovery can
+// fail, so volatile clusters (the common test case) never panic; durable
+// callers should prefer Build.
 func New(cfg Config) *Cluster {
+	cl, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return cl
+}
+
+// Build assembles a cluster. Machines with a Durability filesystem are
+// recovered from any log it already holds before they serve.
+func Build(cfg Config) (*Cluster, error) {
 	cfg.FillDefaults()
 	cl := &Cluster{
 		cfg: cfg,
@@ -107,7 +129,19 @@ func New(cfg Config) *Cluster {
 	for i := 0; i < cfg.Machines; i++ {
 		id := sinfonia.NodeID(i)
 		nodes[i] = id
-		mn := sinfonia.NewMemnode(id)
+		var mn *sinfonia.Memnode
+		if cfg.Durability != nil {
+			if fs := cfg.Durability(i); fs != nil {
+				var err error
+				mn, err = sinfonia.OpenDurable(id, fs, cfg.DurOpts)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: machine %d: %w", i, err)
+				}
+			}
+		}
+		if mn == nil {
+			mn = sinfonia.NewMemnode(id)
+		}
 		cl.memnodes = append(cl.memnodes, mn)
 		cl.tr.Bind(id, mn)
 	}
@@ -138,14 +172,22 @@ func New(cfg Config) *Cluster {
 	cl.recovery = sinfonia.NewRecoveryCoordinator(cl.tr, nodes)
 	cl.stop = make(chan struct{})
 	go cl.recovery.Run(50*time.Millisecond, cl.stop)
-	return cl
+	return cl, nil
 }
 
-// Close stops the cluster's background services (recovery sweeps). Safe to
-// call more than once.
+// Close stops the cluster's background services (recovery sweeps) and closes
+// any durable memnode logs. Safe to call more than once.
 func (cl *Cluster) Close() {
-	cl.closeOnce.Do(func() { close(cl.stop) })
+	cl.closeOnce.Do(func() {
+		close(cl.stop)
+		for _, mn := range cl.memnodes {
+			_ = mn.Close()
+		}
+	})
 }
+
+// Memnode returns machine i's memnode (checkpoint control, WAL stats).
+func (cl *Cluster) Memnode(i int) *sinfonia.Memnode { return cl.memnodes[i] }
 
 // Recovery returns the cluster's recovery coordinator.
 func (cl *Cluster) Recovery() *sinfonia.RecoveryCoordinator { return cl.recovery }

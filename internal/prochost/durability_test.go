@@ -1,0 +1,160 @@
+package prochost
+
+import (
+	"testing"
+
+	"minuet/internal/alloc"
+	"minuet/internal/core"
+	"minuet/internal/sinfonia"
+)
+
+// TestDurableKillAllRespawn is the end-to-end durability check: a
+// multi-process cluster with data directories takes batched B-tree writes
+// and distributed minitransactions, every process is killed (SIGKILL — no
+// shutdown path runs), every process is respawned against the same data
+// directories, and the full B-tree contents come back. Transactions that
+// were prepared but undecided at the kill reach a decision after the
+// restart: fully-prepared ones commit, half-prepared ones abort.
+func TestDurableKillAllRespawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process harness: skipped under -short")
+	}
+	// NoFsync: Kill injects process crashes, which the OS page cache
+	// survives; skipping fsyncs keeps the test fast without weakening what
+	// it proves (machine-crash tails are swept in internal/cluster and
+	// internal/wal against the simulated page cache).
+	c, err := Start(Options{Nodes: 3, DataRoot: t.TempDir(), NoFsync: true})
+	if err != nil {
+		t.Fatalf("start durable cluster: %v", err)
+	}
+	t.Cleanup(c.Close)
+	tr := c.NewTransport()
+	defer tr.Close()
+	sc := sinfonia.NewClient(tr, c.NodeIDs())
+
+	// Batched B-tree load spread over all three memnodes.
+	cfg := core.Config{NodeSize: 512, MaxLeafKeys: 8, MaxInnerKeys: 8, DirtyTraversals: true}
+	bt, err := core.Create(sc, alloc.New(sc, 512, 8), 0, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 300
+	ops := make([]core.BatchOp, 0, 64)
+	for i := 0; i < n; {
+		ops = ops[:0]
+		for ; i < n && len(ops) < 64; i++ {
+			ops = append(ops, core.BatchOp{Key: key(i), Val: val(i)})
+		}
+		if err := bt.ApplyBatch(ops); err != nil {
+			t.Fatalf("batch at %d: %v", i, err)
+		}
+	}
+	// A plain distributed write too (2PC across processes).
+	if _, err := sc.Exec(&sinfonia.Minitx{Writes: []sinfonia.WriteItem{
+		{Node: 0, Addr: 1 << 41, Data: []byte("left")},
+		{Node: 2, Addr: 1 << 41, Data: []byte("right")},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Leave two transactions in doubt. txFull is prepared on BOTH of its
+	// participants (both voted yes, so the coordinator may have promised
+	// commit): recovery must commit it. txHalf is prepared on only one of
+	// two: recovery must abort it. The ids live in a txid-space corner no
+	// client prefix uses.
+	const (
+		txFull = uint64(1<<39 + 1)
+		txHalf = uint64(1<<39 + 2)
+		inAddr = sinfonia.Addr(1 << 42)
+	)
+	for _, node := range []sinfonia.NodeID{1, 2} {
+		resp, err := tr.Call(node, &sinfonia.PrepareReq{
+			Txid:         txFull,
+			Writes:       []sinfonia.WriteItem{{Node: node, Addr: inAddr, Data: []byte("decided")}},
+			Participants: []sinfonia.NodeID{1, 2},
+		})
+		if err != nil {
+			t.Fatalf("prepare txFull on %d: %v (%+v)", node, err, resp)
+		}
+	}
+	if _, err := tr.Call(1, &sinfonia.PrepareReq{
+		Txid:         txHalf,
+		Writes:       []sinfonia.WriteItem{{Node: 1, Addr: inAddr + 1, Data: []byte("undone")}},
+		Participants: []sinfonia.NodeID{1, 2},
+	}); err != nil {
+		t.Fatalf("prepare txHalf: %v", err)
+	}
+
+	// Kill the WHOLE cluster, then bring every node back on its data dir.
+	for i := 0; i < c.Nodes(); i++ {
+		if err := c.Kill(i); err != nil {
+			t.Fatalf("kill %d: %v", i, err)
+		}
+	}
+	for i := 0; i < c.Nodes(); i++ {
+		if err := c.Respawn(i); err != nil {
+			t.Fatalf("respawn %d: %v", i, err)
+		}
+	}
+
+	tr2 := c.NewTransport()
+	defer tr2.Close()
+	sc2 := sinfonia.NewClient(tr2, c.NodeIDs())
+
+	// Every acknowledged B-tree write is back: open the tree fresh (no
+	// cached state) and scan a new snapshot.
+	bt2, err := core.Open(sc2, alloc.New(sc2, 512, 8), 0, 0, cfg)
+	if err != nil {
+		t.Fatalf("open tree after cluster restart: %v", err)
+	}
+	snap, err := bt2.CreateSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := bt2.ScanSnapshot(snap, nil, n+10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != n {
+		t.Fatalf("recovered tree has %d keys, want %d", len(kvs), n)
+	}
+	for i, kv := range kvs {
+		if string(kv.Key) != string(key(i)) || string(kv.Val) != string(val(i)) {
+			t.Fatalf("recovered key %d: %q=%q", i, kv.Key, kv.Val)
+		}
+	}
+	r, err := sc2.Read(sinfonia.Ptr{Node: 2, Addr: 1 << 41})
+	if err != nil || !r.Exists || string(r.Data) != "right" {
+		t.Fatalf("2PC write lost across restart: %+v %v", r, err)
+	}
+
+	// The in-doubt transactions reach a decision: sweep until quiescent.
+	rc := sinfonia.NewRecoveryCoordinator(tr2, c.NodeIDs())
+	rc.SetMinAge(0)
+	for i := 0; i < 20; i++ {
+		committed, aborted, err := rc.SweepOnce()
+		if err != nil {
+			t.Fatalf("recovery sweep: %v", err)
+		}
+		if committed+aborted == 0 {
+			break
+		}
+	}
+	for _, node := range []sinfonia.NodeID{1, 2} {
+		st, err := tr2.Call(node, &sinfonia.TxnStatusReq{Txid: txFull})
+		if err != nil || st.(*sinfonia.TxnStatusResp).Status != sinfonia.TxnCommitted {
+			t.Fatalf("txFull on %d: %+v %v (want committed)", node, st, err)
+		}
+		r, err := sc2.Read(sinfonia.Ptr{Node: node, Addr: inAddr})
+		if err != nil || !r.Exists || string(r.Data) != "decided" {
+			t.Fatalf("txFull write missing on %d after recovery: %+v %v", node, r, err)
+		}
+	}
+	st, err := tr2.Call(1, &sinfonia.TxnStatusReq{Txid: txHalf})
+	if err != nil || st.(*sinfonia.TxnStatusResp).Status != sinfonia.TxnAborted {
+		t.Fatalf("txHalf: %+v %v (want aborted)", st, err)
+	}
+	if r, _ := sc2.Read(sinfonia.Ptr{Node: 1, Addr: inAddr + 1}); r.Exists {
+		t.Fatalf("half-prepared txn's write survived: %q", r.Data)
+	}
+}

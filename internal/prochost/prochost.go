@@ -43,6 +43,13 @@ type Options struct {
 	Output io.Writer
 	// ReadyTimeout bounds the per-node readiness wait (default 15s).
 	ReadyTimeout time.Duration
+	// DataRoot, when set, gives node i a write-ahead log in
+	// <DataRoot>/node-<i> (passed to the server as -data-dir). Respawn then
+	// recovers the node's state from its log instead of starting empty.
+	DataRoot string
+	// NoFsync skips log fsyncs on durable nodes (survives process kills —
+	// which is all Kill injects — but not machine crashes).
+	NoFsync bool
 }
 
 // Node is one spawned memnode process.
@@ -191,6 +198,12 @@ func (c *Cluster) spawn(n *Node) error {
 		backup := c.nodes[(n.ID+1)%len(c.nodes)]
 		args = append(args, "-backup-id", strconv.Itoa(backup.ID), "-backup-addr", backup.Addr)
 	}
+	if c.opts.DataRoot != "" {
+		args = append(args, "-data-dir", filepath.Join(c.opts.DataRoot, fmt.Sprintf("node-%d", n.ID)))
+		if c.opts.NoFsync {
+			args = append(args, "-fsync=false")
+		}
+	}
 	cmd := exec.Command(c.bin, args...)
 	out := c.opts.Output
 	if out == nil {
@@ -279,8 +292,10 @@ func (c *Cluster) Kill(i int) error {
 	return nil
 }
 
-// Respawn restarts node i (fresh, empty state — memnodes are in-memory) on
-// its original port and waits for readiness.
+// Respawn restarts node i on its original port and waits for readiness.
+// Without DataRoot the node comes back fresh and empty (memnodes are
+// in-memory); with DataRoot it recovers its pre-kill state from the
+// write-ahead log in its data directory.
 func (c *Cluster) Respawn(i int) error {
 	n := c.nodes[i]
 	n.mu.Lock()

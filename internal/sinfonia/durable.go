@@ -1,0 +1,499 @@
+package sinfonia
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"minuet/internal/wal"
+)
+
+// Durable memnodes: a per-memnode write-ahead redo log (internal/wal) makes
+// acknowledged minitransactions survive a whole-cluster restart — the gap
+// that previously capped the system at cache/testbed use.
+//
+// Logging discipline (redo-only, group-committed):
+//
+//   - Single-phase minitransaction (execCommit): writes are applied to
+//     memory and an APPLY record is appended under the memnode mutex (so
+//     log order equals apply order), then the handler group-commits the
+//     record before acknowledging. Reads and failed compares log nothing.
+//   - Prepare: the staged transaction — writes, every locked address, and
+//     the participant list — is appended as a STAGE record and
+//     group-committed BEFORE the yes vote leaves the node, mirroring the
+//     existing rule for backup mirroring: once the coordinator may decide
+//     commit, this node must be able to keep its promise across a restart.
+//   - Phase two: commit appends an APPLY record carrying the staged
+//     transaction's id (replay re-applies the writes and clears the
+//     stage); abort appends a RESOLVE record. Resolved outcomes replay
+//     into the outcome log, so coordinator-recovery fencing survives
+//     restarts too.
+//
+// Recovery (OpenDurable) loads the newest checkpoint and replays the
+// records after it. Staged transactions are restored with their locks, so
+// the recovery coordinator, promotion, and double-fault machinery operate
+// on a restarted node exactly as on a live one.
+//
+// A durability failure (torn disk, full disk, injected fault) poisons the
+// memnode fail-stop: the failing operation is not acknowledged and every
+// later request is refused, exactly like a crash — which is what the
+// crash-injection tests then simulate recovery from. Backup mirror state
+// (replicas of other primaries) is deliberately not logged: mirrors are
+// reconstructible through SeedReplica/RemirrorStaged, and logging them
+// would double every write's log traffic.
+
+// DurOptions configures a durable memnode.
+type DurOptions struct {
+	// NoFsync skips fsyncs: commits survive process crashes but not
+	// machine crashes. See wal.Options.
+	NoFsync bool
+	// CheckpointEvery is the log-bytes threshold that triggers a background
+	// checkpoint (snapshot of the memnode state + log truncation).
+	// 0 means the 8 MiB default; negative disables auto-checkpointing.
+	CheckpointEvery int64
+}
+
+// defaultCheckpointEvery is the auto-checkpoint threshold when unset.
+const defaultCheckpointEvery = 8 << 20
+
+// Record and checkpoint encodings. Hand-rolled little-endian framing (the
+// wal layer adds length + CRC): versioned, self-contained, and cheap enough
+// to sit on the commit path.
+const (
+	recApply   = 1 // committed writes (one-phase, or phase two of a stage)
+	recStage   = 2 // prepared distributed transaction
+	recResolve = 3 // phase-two outcome without writes (abort, empty commit)
+
+	stateVersion = 1
+)
+
+var errBadRecord = errors.New("sinfonia: corrupt wal record")
+
+// replayPreparedAt is the prepare timestamp given to restored stages: the
+// clock restarts, so the recovery coordinator leaves them alone for a full
+// MinAge — a still-alive coordinator gets first shot at phase two, and the
+// sweep resolves them right after, same as for any crashed coordinator.
+func replayPreparedAt() time.Time { return time.Now() }
+
+// OpenDurable opens (or creates) a durable memnode over the given log
+// filesystem, replaying any existing checkpoint and redo records. The
+// returned memnode is ready to serve: committed items, staged prepares
+// (with their locks), and resolved-transaction fencing are all restored.
+func OpenDurable(id NodeID, fs wal.FS, opts DurOptions) (*Memnode, error) {
+	if opts.CheckpointEvery == 0 {
+		opts.CheckpointEvery = defaultCheckpointEvery
+	}
+	l, rec, err := wal.Open(fs, wal.Options{NoFsync: opts.NoFsync})
+	if err != nil {
+		return nil, fmt.Errorf("memnode %d: open wal: %w", id, err)
+	}
+	m := NewMemnode(id)
+	if rec.Checkpoint != nil {
+		if err := m.decodeState(rec.Checkpoint); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("memnode %d: checkpoint: %w", id, err)
+		}
+	}
+	for i, p := range rec.Records {
+		if err := m.replayRecord(p); err != nil {
+			l.Close()
+			return nil, fmt.Errorf("memnode %d: replay record %d: %w", id, i, err)
+		}
+	}
+	// Restored prepares hold their locks again, exactly as before the
+	// restart: phase two (from the original coordinator retrying, or the
+	// recovery coordinator's sweep) finds them where it left them.
+	for txid, st := range m.staged {
+		for _, a := range st.addrs {
+			m.locked[a] = txid
+		}
+	}
+	m.wal = l
+	m.durOpts = opts
+	return m, nil
+}
+
+// Durable reports whether this memnode has a write-ahead log.
+func (m *Memnode) Durable() bool { return m.wal != nil }
+
+// WALStats returns the underlying log's counters (zero Stats when
+// volatile).
+func (m *Memnode) WALStats() wal.Stats {
+	if m.wal == nil {
+		return wal.Stats{}
+	}
+	return m.wal.Stats()
+}
+
+// Close releases the memnode's log, syncing it first. Volatile memnodes
+// need no Close.
+func (m *Memnode) Close() error {
+	if m.wal == nil {
+		return nil
+	}
+	return m.wal.Close()
+}
+
+// CheckpointNow snapshots the memnode's durable state and truncates the
+// log. Tests and operators call it directly; the commit path triggers it
+// automatically past DurOptions.CheckpointEvery.
+func (m *Memnode) CheckpointNow() error {
+	if m.wal == nil {
+		return nil
+	}
+	m.mu.Lock()
+	if m.failed {
+		m.mu.Unlock()
+		return fmt.Errorf("memnode %d: durability failed", m.id)
+	}
+	state := m.encodeState()
+	// Rotation happens under the memnode mutex: no record can land between
+	// the state snapshot and the cut, so checkpoint+tail replay is exact.
+	cut, err := m.wal.BeginCheckpoint()
+	if err != nil {
+		m.failed = true
+		m.mu.Unlock()
+		return err
+	}
+	m.mu.Unlock()
+	return m.wal.FinishCheckpoint(cut, state)
+}
+
+// maybeCheckpoint starts a background checkpoint when enough log has
+// accumulated. Must be called without m.mu held.
+func (m *Memnode) maybeCheckpoint() {
+	if m.wal == nil || m.durOpts.CheckpointEvery <= 0 {
+		return
+	}
+	if m.wal.SinceCheckpoint() < m.durOpts.CheckpointEvery {
+		return
+	}
+	if !m.ckptBusy.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer m.ckptBusy.Store(false)
+		// A checkpoint failure poisons the log; the next commit surfaces
+		// it as fail-stop. Nothing to do here.
+		_ = m.CheckpointNow()
+	}()
+}
+
+// walAppend encodes and appends a record under m.mu, poisoning the node on
+// failure. Returns 0 when the node is volatile.
+func (m *Memnode) walAppend(payload []byte) (uint64, error) {
+	if m.wal == nil {
+		return 0, nil
+	}
+	lsn, err := m.wal.Append(payload)
+	if err != nil {
+		m.failed = true
+		return 0, fmt.Errorf("memnode %d: wal append: %w", m.id, err)
+	}
+	return lsn, nil
+}
+
+// walCommit group-commits lsn (without m.mu held), poisoning the node on
+// failure. lsn 0 (nothing logged) is a no-op.
+func (m *Memnode) walCommit(lsn uint64) error {
+	if lsn == 0 {
+		return nil
+	}
+	if err := m.wal.Commit(lsn); err != nil {
+		m.mu.Lock()
+		m.failed = true
+		m.mu.Unlock()
+		return fmt.Errorf("memnode %d: wal commit: %w", m.id, err)
+	}
+	return nil
+}
+
+// ---- record encoding ----
+
+type enc struct{ b []byte }
+
+func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
+func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
+func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bytes(p []byte) {
+	e.u32(uint32(len(p)))
+	e.b = append(e.b, p...)
+}
+
+type dec struct {
+	b   []byte
+	err bool
+}
+
+func (d *dec) u8() uint8 {
+	if d.err || len(d.b) < 1 {
+		d.err = true
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err || len(d.b) < 4 {
+		d.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.b)
+	d.b = d.b[4:]
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err || len(d.b) < 8 {
+		d.err = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b)
+	d.b = d.b[8:]
+	return v
+}
+
+func (d *dec) bytes() []byte {
+	n := int(d.u32())
+	if d.err || len(d.b) < n {
+		d.err = true
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.b[:n])
+	d.b = d.b[n:]
+	return v
+}
+
+// encodeApply logs committed writes with the exact versions the primary
+// assigned (replay restores them verbatim, keeping version-based OCC
+// compares valid across restarts). staged marks phase-two commits, whose
+// replay also clears the stage and fences the outcome.
+func encodeApply(txid uint64, staged bool, rep *ReplicaApplyReq) []byte {
+	e := &enc{b: make([]byte, 0, 64)}
+	e.u8(recApply)
+	e.u64(txid)
+	if staged {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u32(uint32(len(rep.Addrs)))
+	for i := range rep.Addrs {
+		e.u64(uint64(rep.Addrs[i]))
+		e.u64(rep.Versions[i])
+		e.bytes(rep.Data[i])
+	}
+	return e.b
+}
+
+// encodeStage logs a prepared transaction: its writes, its full locked
+// address set (compares and reads lock too — the writes alone would
+// under-lock after replay), and the participant list coordinator recovery
+// needs.
+func encodeStage(txid uint64, addrs []Addr, participants []NodeID, writes []WriteItem) []byte {
+	e := &enc{b: make([]byte, 0, 64)}
+	e.u8(recStage)
+	e.u64(txid)
+	e.u32(uint32(len(addrs)))
+	for _, a := range addrs {
+		e.u64(uint64(a))
+	}
+	e.u32(uint32(len(participants)))
+	for _, p := range participants {
+		e.u32(uint32(p))
+	}
+	e.u32(uint32(len(writes)))
+	for i := range writes {
+		e.u64(uint64(writes[i].Addr))
+		e.bytes(writes[i].Data)
+	}
+	return e.b
+}
+
+// encodeResolve logs a phase-two outcome that carries no writes: an abort,
+// or a commit whose transaction staged nothing to write here.
+func encodeResolve(txid uint64, aborted bool) []byte {
+	e := &enc{b: make([]byte, 0, 16)}
+	e.u8(recResolve)
+	e.u64(txid)
+	if aborted {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	return e.b
+}
+
+// replayRecord applies one redo record to a recovering memnode. Replay is
+// idempotent (versions guard items), so re-replaying a suffix after an
+// interrupted recovery converges.
+func (m *Memnode) replayRecord(p []byte) error {
+	d := &dec{b: p}
+	switch d.u8() {
+	case recApply:
+		txid := d.u64()
+		staged := d.u8() == 1
+		n := int(d.u32())
+		for i := 0; i < n; i++ {
+			addr := Addr(d.u64())
+			ver := d.u64()
+			data := d.bytes()
+			if d.err {
+				return errBadRecord
+			}
+			if cur := m.items[addr]; cur == nil || cur.version < ver {
+				m.items[addr] = &item{data: data, version: ver}
+			}
+		}
+		if staged {
+			delete(m.staged, txid)
+			m.outcomes.record(txid, TxnCommitted)
+		}
+	case recStage:
+		txid := d.u64()
+		addrs := make([]Addr, d.u32())
+		for i := range addrs {
+			addrs[i] = Addr(d.u64())
+		}
+		participants := make([]NodeID, d.u32())
+		for i := range participants {
+			participants[i] = NodeID(d.u32())
+		}
+		writes := make([]WriteItem, d.u32())
+		for i := range writes {
+			writes[i].Node = m.id
+			writes[i].Addr = Addr(d.u64())
+			writes[i].Data = d.bytes()
+		}
+		if d.err {
+			return errBadRecord
+		}
+		if _, resolved := m.outcomes.get(txid); resolved {
+			return nil // resolved later in the log; never resurrect
+		}
+		m.staged[txid] = &staged{
+			writes:       writes,
+			addrs:        addrs,
+			participants: participants,
+			preparedAt:   replayPreparedAt(),
+		}
+	case recResolve:
+		txid := d.u64()
+		aborted := d.u8() == 1
+		if d.err {
+			return errBadRecord
+		}
+		if st, ok := m.staged[txid]; ok {
+			m.release(txid, st)
+		}
+		if aborted {
+			m.outcomes.record(txid, TxnAborted)
+		} else {
+			m.outcomes.record(txid, TxnCommitted)
+		}
+	default:
+		return errBadRecord
+	}
+	if d.err {
+		return errBadRecord
+	}
+	return nil
+}
+
+// encodeState serializes the memnode's durable state for a checkpoint:
+// items, staged prepares, and the resolved-outcome log. Caller holds m.mu.
+func (m *Memnode) encodeState() []byte {
+	e := &enc{b: make([]byte, 0, 1024)}
+	e.u8(stateVersion)
+	e.u32(uint32(len(m.items)))
+	for a, it := range m.items {
+		e.u64(uint64(a))
+		e.u64(it.version)
+		e.bytes(it.data)
+	}
+	e.u32(uint32(len(m.staged)))
+	for txid, st := range m.staged {
+		e.u64(txid)
+		e.u32(uint32(len(st.addrs)))
+		for _, a := range st.addrs {
+			e.u64(uint64(a))
+		}
+		e.u32(uint32(len(st.participants)))
+		for _, p := range st.participants {
+			e.u32(uint32(p))
+		}
+		e.u32(uint32(len(st.writes)))
+		for i := range st.writes {
+			e.u64(uint64(st.writes[i].Addr))
+			e.bytes(st.writes[i].Data)
+		}
+	}
+	e.u32(uint32(len(m.outcomes.order)))
+	for _, txid := range m.outcomes.order {
+		e.u64(txid)
+		e.u8(m.outcomes.m[txid])
+	}
+	return e.b
+}
+
+// decodeState loads a checkpoint into a fresh memnode.
+func (m *Memnode) decodeState(p []byte) error {
+	d := &dec{b: p}
+	if d.u8() != stateVersion {
+		return fmt.Errorf("sinfonia: unknown checkpoint version")
+	}
+	nItems := int(d.u32())
+	for i := 0; i < nItems; i++ {
+		addr := Addr(d.u64())
+		ver := d.u64()
+		data := d.bytes()
+		if d.err {
+			return errBadRecord
+		}
+		m.items[addr] = &item{data: data, version: ver}
+	}
+	nStaged := int(d.u32())
+	for i := 0; i < nStaged; i++ {
+		txid := d.u64()
+		addrs := make([]Addr, d.u32())
+		for j := range addrs {
+			addrs[j] = Addr(d.u64())
+		}
+		participants := make([]NodeID, d.u32())
+		for j := range participants {
+			participants[j] = NodeID(d.u32())
+		}
+		writes := make([]WriteItem, d.u32())
+		for j := range writes {
+			writes[j].Node = m.id
+			writes[j].Addr = Addr(d.u64())
+			writes[j].Data = d.bytes()
+		}
+		if d.err {
+			return errBadRecord
+		}
+		m.staged[txid] = &staged{
+			writes:       writes,
+			addrs:        addrs,
+			participants: participants,
+			preparedAt:   replayPreparedAt(),
+		}
+	}
+	nOut := int(d.u32())
+	for i := 0; i < nOut; i++ {
+		txid := d.u64()
+		status := d.u8()
+		if d.err {
+			return errBadRecord
+		}
+		m.outcomes.record(txid, status)
+	}
+	if d.err {
+		return errBadRecord
+	}
+	return nil
+}

@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"minuet/internal/netsim"
+	"minuet/internal/wal"
 )
 
 // Memnode is a Sinfonia storage node: an in-memory, byte-addressable item
@@ -39,6 +41,14 @@ type Memnode struct {
 	// replicas holds mirrored state for primaries this node backs up,
 	// keyed by primary node id.
 	replicas map[NodeID]*replicaStore
+
+	// Durability (see durable.go). wal is nil for volatile memnodes; failed
+	// flips on the first log failure and fail-stops the node: the failing
+	// operation is never acknowledged and every later request is refused.
+	wal      *wal.Log
+	durOpts  DurOptions
+	failed   bool
+	ckptBusy atomic.Bool
 
 	commits    int64
 	aborts     int64
@@ -134,16 +144,28 @@ func (m *Memnode) SetBackup(t netsim.Transport, backup NodeID) {
 
 // HandleRPC implements netsim.Handler.
 func (m *Memnode) HandleRPC(req any) (any, error) {
+	if m.wal != nil {
+		m.mu.Lock()
+		failed := m.failed
+		m.mu.Unlock()
+		if failed {
+			return nil, fmt.Errorf("memnode %d: durability failed (fail-stop)", m.id)
+		}
+	}
 	switch r := req.(type) {
 	case *ExecCommitReq:
-		return m.execCommit(r), nil
+		return m.execCommit(r)
 	case *PrepareReq:
-		return m.prepare(r), nil
+		return m.prepare(r)
 	case *CommitReq:
-		m.commit(r.Txid)
+		if err := m.commit(r.Txid); err != nil {
+			return nil, err
+		}
 		return &Ack{}, nil
 	case *AbortReq:
-		m.abort(r.Txid)
+		if err := m.abort(r.Txid); err != nil {
+			return nil, err
+		}
 		return &Ack{}, nil
 	case *ReplicaApplyReq:
 		m.replicaApply(r)
@@ -274,7 +296,9 @@ func (m *Memnode) applyWrites(wr []WriteItem) *ReplicaApplyReq {
 		return nil
 	}
 	var rep *ReplicaApplyReq
-	if m.hasBackup {
+	if m.hasBackup || m.wal != nil {
+		// The batch doubles as the WAL's APPLY record source: it carries the
+		// exact versions assigned here, so replay is idempotent.
 		rep = &ReplicaApplyReq{From: m.id}
 	}
 	for i := range wr {
@@ -311,7 +335,7 @@ func (m *Memnode) forwardToBackup(rep *ReplicaApplyReq) {
 	_, _ = m.transport.Call(m.backup, rep)
 }
 
-func (m *Memnode) execCommit(r *ExecCommitReq) *ExecResp {
+func (m *Memnode) execCommit(r *ExecCommitReq) (*ExecResp, error) {
 	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
 
 	m.mu.Lock()
@@ -320,27 +344,41 @@ func (m *Memnode) execCommit(r *ExecCommitReq) *ExecResp {
 		if !m.waitUnlocked(addrs, r.Txid, deadline) {
 			m.busyAborts++
 			m.mu.Unlock()
-			return &ExecResp{Vote: voteBusy}
+			return &ExecResp{Vote: voteBusy}, nil
 		}
 	} else if m.anyLocked(addrs, r.Txid) {
 		m.busyAborts++
 		m.mu.Unlock()
-		return &ExecResp{Vote: voteBusy}
+		return &ExecResp{Vote: voteBusy}, nil
 	}
 	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
 		m.aborts++
 		m.mu.Unlock()
-		return &ExecResp{Vote: voteCompareFail, Failed: failed}
+		return &ExecResp{Vote: voteCompareFail, Failed: failed}, nil
 	}
 	reads := m.doReads(r.Reads)
 	rep := m.applyWrites(r.Writes)
+	var lsn uint64
+	var err error
+	if rep != nil {
+		// Appended under m.mu so log order equals apply order; the fsync
+		// (group commit) happens below, outside the mutex.
+		lsn, err = m.walAppend(encodeApply(r.Txid, false, rep))
+	}
 	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.walCommit(lsn); err != nil {
+		return nil, err
+	}
 
 	m.forwardToBackup(rep)
-	return &ExecResp{Vote: voteOK, Reads: reads}
+	m.maybeCheckpoint()
+	return &ExecResp{Vote: voteOK, Reads: reads}, nil
 }
 
-func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
+func (m *Memnode) prepare(r *PrepareReq) (*ExecResp, error) {
 	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
 
 	m.mu.Lock()
@@ -350,17 +388,17 @@ func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
 		if !m.waitUnlocked(addrs, r.Txid, deadline) {
 			m.busyAborts++
 			m.mu.Unlock()
-			return &ExecResp{Vote: voteBusy}
+			return &ExecResp{Vote: voteBusy}, nil
 		}
 	} else if m.anyLocked(addrs, r.Txid) {
 		m.busyAborts++
 		m.mu.Unlock()
-		return &ExecResp{Vote: voteBusy}
+		return &ExecResp{Vote: voteBusy}, nil
 	}
 	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
 		m.aborts++
 		m.mu.Unlock()
-		return &ExecResp{Vote: voteCompareFail, Failed: failed}
+		return &ExecResp{Vote: voteCompareFail, Failed: failed}, nil
 	}
 	reads := m.doReads(r.Reads)
 	for _, a := range addrs {
@@ -372,8 +410,18 @@ func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
 		participants: r.Participants,
 		preparedAt:   time.Now(),
 	}
+	lsn, err := m.walAppend(encodeStage(r.Txid, addrs, r.Participants, r.Writes))
 	hasBackup := m.hasBackup
 	m.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	// The STAGE record must be durable BEFORE the yes vote leaves this node
+	// (the same rule as mirroring below): once the coordinator may decide
+	// commit, a restart of this node must not forget the promise.
+	if err := m.walCommit(lsn); err != nil {
+		return nil, err
+	}
 
 	// Mirror the prepare to the backup BEFORE voting OK: once the vote is
 	// out, the coordinator may decide commit, and a commit decision should
@@ -388,45 +436,60 @@ func (m *Memnode) prepare(r *PrepareReq) *ExecResp {
 			Writes: r.Writes, Participants: r.Participants,
 		})
 	}
-	return &ExecResp{Vote: voteOK, Reads: reads}
+	m.maybeCheckpoint()
+	return &ExecResp{Vote: voteOK, Reads: reads}, nil
 }
 
-func (m *Memnode) commit(txid uint64) {
+func (m *Memnode) commit(txid uint64) error {
 	m.mu.Lock()
 	if status, resolved := m.outcomes.get(txid); resolved && status == TxnAborted {
 		// The recovery coordinator already aborted this transaction; a
 		// late commit from a slow coordinator must be refused.
 		m.mu.Unlock()
-		return
+		return nil
 	}
 	st, ok := m.staged[txid]
 	var rep *ReplicaApplyReq
 	resolveOnly := false
+	var lsn uint64
+	var err error
 	if ok {
 		rep = m.applyWrites(st.writes)
 		if rep != nil {
 			rep.Txid = txid
+			lsn, err = m.walAppend(encodeApply(txid, true, rep))
 		} else {
 			resolveOnly = m.hasBackup // nothing to write; still clear the mirror
+			// No writes, but the outcome still needs to be durable: the
+			// RESOLVE record clears the stage and fences a late abort.
+			lsn, err = m.walAppend(encodeResolve(txid, false))
 		}
 		m.release(txid, st)
 		m.outcomes.record(txid, TxnCommitted)
 	}
 	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := m.walCommit(lsn); err != nil {
+		return err
+	}
 	m.forwardToBackup(rep)
 	if resolveOnly {
 		_, _ = m.transport.Call(m.backup, &ReplicaResolveReq{From: m.id, Txid: txid})
 	}
+	m.maybeCheckpoint()
+	return nil
 }
 
-func (m *Memnode) abort(txid uint64) {
+func (m *Memnode) abort(txid uint64) error {
 	m.mu.Lock()
 	var hadStage bool
 	if status, resolved := m.outcomes.get(txid); resolved && status == TxnCommitted {
 		// Already committed (possibly by recovery); a late abort must not
 		// undo it — and cannot, since the staging entry is gone.
 		m.mu.Unlock()
-		return
+		return nil
 	}
 	if st, ok := m.staged[txid]; ok {
 		m.aborts++
@@ -436,11 +499,25 @@ func (m *Memnode) abort(txid uint64) {
 	// Record the abort even when nothing is staged so that a late commit
 	// arriving after this abort is fenced out.
 	m.outcomes.record(txid, TxnAborted)
+	var lsn uint64
+	var err error
+	if hadStage {
+		// Only staged aborts are logged: with no stage there is nothing a
+		// restart could resurrect, so the fence is only needed in memory.
+		lsn, err = m.walAppend(encodeResolve(txid, true))
+	}
 	hasBackup := m.hasBackup
 	m.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := m.walCommit(lsn); err != nil {
+		return err
+	}
 	if hadStage && hasBackup {
 		_, _ = m.transport.Call(m.backup, &ReplicaResolveReq{From: m.id, Txid: txid, Aborted: true})
 	}
+	return nil
 }
 
 // inDoubt lists staged distributed transactions older than the requested

@@ -1,0 +1,134 @@
+// Package wal is a per-memnode write-ahead redo log with group commit,
+// CRC-framed records, periodic checkpoints, and replay recovery.
+//
+// The log is deliberately storage-format agnostic: records and checkpoint
+// state are opaque byte payloads framed and checksummed by the log, encoded
+// and replayed by the owner (internal/sinfonia encodes minitransaction
+// applies, prepares, and resolutions). Durability is amortized with the
+// classic group-commit pattern: concurrent committers piggyback on a single
+// in-flight fsync, so a batch of minitransactions pays one disk sync.
+//
+// All file I/O goes through the FS interface. OSFS is the real thing; MemFS
+// is an in-memory filesystem that models the page cache (written vs durable
+// bytes) so tests can crash the log at any write boundary — torn tails
+// included — and recover deterministically from exactly what a real disk
+// would have kept. FaultFS injects those crash points.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is a log or checkpoint file. Log files are append-only; recovery
+// additionally reads and truncates them.
+type File interface {
+	io.Writer
+	io.ReaderAt
+	// Size returns the current file length in bytes.
+	Size() (int64, error)
+	// Truncate discards everything past size (recovery drops torn tails).
+	Truncate(size int64) error
+	// Sync forces written bytes to durable storage.
+	Sync() error
+	Close() error
+}
+
+// FS is a flat directory of files. Implementations must be safe for
+// concurrent use. Name semantics follow POSIX closely enough for a WAL:
+// Create truncates, Rename replaces atomically, and SyncDir makes preceding
+// metadata operations durable.
+type FS interface {
+	// Create creates (or truncates) a file for writing.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading and truncation.
+	Open(name string) (File, error)
+	Rename(oldName, newName string) error
+	Remove(name string) error
+	// List returns every file name in the directory, in no particular order.
+	List() ([]string, error)
+	// SyncDir makes create/rename/remove operations durable.
+	SyncDir() error
+}
+
+// OSFS is the real filesystem rooted at a directory.
+type OSFS struct {
+	root string
+}
+
+// NewOSFS returns an FS rooted at dir, creating it if needed.
+func NewOSFS(dir string) (*OSFS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &OSFS{root: dir}, nil
+}
+
+// Root returns the backing directory.
+func (fs *OSFS) Root() string { return fs.root }
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+// Create implements FS.
+func (fs *OSFS) Create(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(fs.root, name), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Open implements FS.
+func (fs *OSFS) Open(name string) (File, error) {
+	f, err := os.OpenFile(filepath.Join(fs.root, name), os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+// Rename implements FS.
+func (fs *OSFS) Rename(oldName, newName string) error {
+	return os.Rename(filepath.Join(fs.root, oldName), filepath.Join(fs.root, newName))
+}
+
+// Remove implements FS.
+func (fs *OSFS) Remove(name string) error {
+	return os.Remove(filepath.Join(fs.root, name))
+}
+
+// List implements FS.
+func (fs *OSFS) List() ([]string, error) {
+	ents, err := os.ReadDir(fs.root)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// SyncDir implements FS by fsyncing the directory.
+func (fs *OSFS) SyncDir() error {
+	d, err := os.Open(fs.root)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,468 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// rec encodes a test record: the 8-byte LE ordinal of the operation.
+func rec(i uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, i)
+	return b
+}
+
+func decRec(t *testing.T, b []byte) uint64 {
+	t.Helper()
+	if len(b) != 8 {
+		t.Fatalf("record has %d bytes, want 8", len(b))
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// replayCount folds a Recovered into the test model: the checkpoint encodes
+// how many records it covers, and the redo records must continue the
+// sequence contiguously from there.
+func replayCount(t *testing.T, r *Recovered) uint64 {
+	t.Helper()
+	var n uint64
+	if r.Checkpoint != nil {
+		n = binary.LittleEndian.Uint64(r.Checkpoint)
+	}
+	for _, p := range r.Records {
+		got := decRec(t, p)
+		if got != n {
+			t.Fatalf("replay gap: record %d after %d records", got, n)
+		}
+		n++
+	}
+	return n
+}
+
+func TestEmptyOpen(t *testing.T) {
+	l, r, err := Open(NewMemFS(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if r.Checkpoint != nil || len(r.Records) != 0 || r.Truncated {
+		t.Fatalf("fresh dir recovered non-empty state: %+v", r)
+	}
+}
+
+func TestRoundTripAcrossReopen(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 20; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Checkpoint at 20, then log 5 more.
+	cut, err := l.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]byte, 8)
+	binary.LittleEndian.PutUint64(state, 20)
+	if err := l.FinishCheckpoint(cut, state); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(20); i < 25; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, r, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if r.Checkpoint == nil {
+		t.Fatal("checkpoint lost across reopen")
+	}
+	if got := replayCount(t, r); got != 25 {
+		t.Fatalf("recovered %d records, want 25", got)
+	}
+	if r.Truncated {
+		t.Fatal("clean close must not report a truncated tail")
+	}
+	// The checkpoint must have deleted the segments it covers.
+	names, _ := fs.List()
+	for _, n := range names {
+		if n == segName(1) {
+			t.Fatalf("superseded segment %s survived checkpoint: %v", n, names)
+		}
+	}
+}
+
+// slowSyncFS delays Sync so concurrent committers actually pile up behind a
+// group-commit leader instead of racing through instant MemFS syncs.
+type slowSyncFS struct {
+	FS
+	delay time.Duration
+}
+
+func (s *slowSyncFS) Create(name string) (File, error) {
+	f, err := s.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+func (s *slowSyncFS) Open(name string) (File, error) {
+	f, err := s.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &slowSyncFile{File: f, delay: s.delay}, nil
+}
+
+type slowSyncFile struct {
+	File
+	delay time.Duration
+}
+
+func (f *slowSyncFile) Sync() error {
+	time.Sleep(f.delay)
+	return f.File.Sync()
+}
+
+// TestGroupCommitAmortizesSyncs: many concurrent committers must share
+// fsyncs — that is the point of group commit. With a 1ms sync, 16 workers
+// × 8 commits each would cost 128ms+ serialized; the leader/follower
+// protocol must cover many LSNs per sync.
+func TestGroupCommitAmortizesSyncs(t *testing.T) {
+	fs := &slowSyncFS{FS: NewMemFS(), delay: time.Millisecond}
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	const workers, per = 16, 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < per; i++ {
+				if err := l.AppendCommit(rec(uint64(w*per + i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+
+	st := l.Stats()
+	if st.Appends != workers*per {
+		t.Fatalf("appends=%d want %d", st.Appends, workers*per)
+	}
+	if st.Syncs >= st.Appends {
+		t.Fatalf("group commit did not amortize: %d syncs for %d appends", st.Syncs, st.Appends)
+	}
+}
+
+// corrupt rewrites a file's durable bytes through fn.
+func corrupt(t *testing.T, fs FS, name string, fn func([]byte) []byte) {
+	t.Helper()
+	f, err := fs.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size, _ := f.Size()
+	buf := make([]byte, size)
+	if size > 0 {
+		if _, err := f.ReadAt(buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.Close()
+	out := fn(buf)
+	w, err := fs.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+}
+
+// lastSegment returns the highest-numbered segment name.
+func lastSegment(t *testing.T, fs FS) string {
+	t.Helper()
+	names, err := fs.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := ""
+	for _, n := range names {
+		if len(n) > len(segPrefix) && n[:len(segPrefix)] == segPrefix && (last == "" || n > last) {
+			last = n
+		}
+	}
+	if last == "" {
+		t.Fatal("no segments on disk")
+	}
+	return last
+}
+
+// TestCorruptTailRecovery: a truncated final record, a bit-flipped CRC, and
+// a zero-filled tail must each recover to the last complete commit — never
+// error out, never replay garbage.
+func TestCorruptTailRecovery(t *testing.T) {
+	const n = 12
+	cases := []struct {
+		name string
+		mangle
+	}{
+		{"truncated-final-record", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bit-flipped-crc", func(b []byte) []byte {
+			b[len(b)-3] ^= 0x40 // inside the last record's payload
+			return b
+		}},
+		{"zero-filled-tail", func(b []byte) []byte { return append(b, make([]byte, 37)...) }},
+		{"garbage-length-tail", func(b []byte) []byte {
+			return append(b, 0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3, 4)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fs := NewMemFS()
+			l, _, err := Open(fs, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := uint64(0); i < n; i++ {
+				if err := l.AppendCommit(rec(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			l.Close()
+			seg := lastSegment(t, fs)
+			corrupt(t, fs, seg, tc.mangle)
+
+			l2, r, err := Open(fs, Options{})
+			if err != nil {
+				t.Fatalf("recovery errored on %s: %v", tc.name, err)
+			}
+			defer l2.Close()
+			got := replayCount(t, r)
+			// The damage touches at most the final record; everything before
+			// it must replay, and nothing fabricated may appear.
+			if got < n-1 || got > n {
+				t.Fatalf("recovered %d records, want %d or %d", got, n-1, n)
+			}
+			wantTrunc := got == n-1 || tc.name == "zero-filled-tail" || tc.name == "garbage-length-tail"
+			if r.Truncated != wantTrunc {
+				t.Fatalf("Truncated=%v, want %v (recovered %d)", r.Truncated, wantTrunc, got)
+			}
+		})
+	}
+}
+
+type mangle = func([]byte) []byte
+
+// TestCrashPointSweepLog crashes the filesystem after every k-th mutating
+// operation of a scripted append/commit/checkpoint workload and recovers
+// from the durable view under each tail-survival mode. Invariant: the
+// recovered sequence is a contiguous prefix that includes every commit that
+// was acknowledged before the crash.
+func TestCrashPointSweepLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash-point sweep: skipped under -short (CI durability job runs it)")
+	}
+	// Count the ops of a fault-free run.
+	total := runLogWorkload(t, NewFaultPlan(), NewMemFS())
+	if total < 20 {
+		t.Fatalf("workload too small to sweep: %d ops", total)
+	}
+	for k := int64(1); k <= total; k++ {
+		for _, mode := range []TailMode{TailSynced, TailHalf, TailAll} {
+			mem := NewMemFS()
+			plan := NewFaultPlan()
+			plan.SetFailAt(k)
+			acked := runLogWorkload(t, plan, mem)
+			view := mem.CrashCopy(mode)
+			l, r, err := Open(view, Options{})
+			if err != nil {
+				t.Fatalf("k=%d mode=%d: recovery failed: %v", k, mode, err)
+			}
+			got := int64(replayCount(t, r))
+			l.Close()
+			if got < acked {
+				t.Fatalf("k=%d mode=%d: recovered %d records but %d were acknowledged", k, mode, got, acked)
+			}
+		}
+	}
+}
+
+// runLogWorkload appends 40 records through a FaultFS, committing each and
+// checkpointing every 10, and returns how many commits were acknowledged
+// (or, with an unarmed plan, the total operation count).
+func runLogWorkload(t *testing.T, plan *FaultPlan, mem *MemFS) int64 {
+	t.Helper()
+	ffs := NewFaultFS(mem, plan)
+	l, r, err := Open(ffs, Options{})
+	if err != nil {
+		if errors.Is(err, ErrInjected) {
+			return 0
+		}
+		t.Fatal(err)
+	}
+	defer l.Close()
+	acked := replayCount(t, r)
+	for i := acked; i < 40; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			if errors.Is(err, ErrInjected) || l.Err() != nil {
+				if plan.failAt.Load() > 0 {
+					return int64(acked)
+				}
+			}
+			t.Fatal(err)
+		}
+		acked++
+		if acked%10 == 0 {
+			cut, err := l.BeginCheckpoint()
+			if err != nil {
+				if plan.failAt.Load() > 0 {
+					return int64(acked)
+				}
+				t.Fatal(err)
+			}
+			state := make([]byte, 8)
+			binary.LittleEndian.PutUint64(state, acked)
+			if err := l.FinishCheckpoint(cut, state); err != nil {
+				if plan.failAt.Load() > 0 {
+					return int64(acked)
+				}
+				t.Fatal(err)
+			}
+		}
+	}
+	if plan.failAt.Load() > 0 {
+		return int64(acked)
+	}
+	return plan.Ops()
+}
+
+// TestCheckpointCrashFallsBack: a crash while the checkpoint tmp file is
+// being written must leave the previous checkpoint in force with all
+// records intact.
+func TestCheckpointCrashFallsBack(t *testing.T) {
+	mem := NewMemFS()
+	plan := NewFaultPlan()
+	ffs := NewFaultFS(mem, plan)
+	l, _, err := Open(ffs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 15; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := l.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fail the very next mutating op: the tmp file create.
+	plan.SetFailAt(plan.Ops() + 1)
+	state := make([]byte, 8)
+	binary.LittleEndian.PutUint64(state, 15)
+	if err := l.FinishCheckpoint(cut, state); err == nil {
+		t.Fatal("FinishCheckpoint succeeded past an injected crash")
+	}
+	l.Close()
+
+	l2, r, err := Open(mem.CrashCopy(TailSynced), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := replayCount(t, r); got != 15 {
+		t.Fatalf("recovered %d records after torn checkpoint, want 15", got)
+	}
+}
+
+// TestFailStop: once an append or sync fails, the log refuses everything.
+func TestFailStop(t *testing.T) {
+	mem := NewMemFS()
+	plan := NewFaultPlan()
+	l, _, err := Open(NewFaultFS(mem, plan), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.AppendCommit(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	plan.SetFailAt(1) // every further op fails
+	if err := l.AppendCommit(rec(1)); err == nil {
+		t.Fatal("append past crash point succeeded")
+	}
+	plan.SetFailAt(0) // storage "heals" — the log must stay poisoned
+	if _, err := l.Append(rec(2)); err == nil {
+		t.Fatal("failed log accepted a new append")
+	}
+	if l.Err() == nil {
+		t.Fatal("sticky error not recorded")
+	}
+}
+
+// TestNoFsyncSurvivesProcessCrashOnly documents the -fsync=false contract:
+// written-but-unsynced bytes survive a process crash (TailAll) but not a
+// machine crash (TailSynced).
+func TestNoFsyncSurvivesProcessCrashOnly(t *testing.T) {
+	mem := NewMemFS()
+	l, _, err := Open(mem, Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: simulate dying with the buffers unflushed.
+	for _, tc := range []struct {
+		mode TailMode
+		want uint64
+	}{{TailAll, 5}, {TailSynced, 0}} {
+		_, r, err := Open(mem.CrashCopy(tc.mode), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := replayCount(t, r); got != tc.want {
+			t.Fatalf("mode=%d recovered %d, want %d", tc.mode, got, tc.want)
+		}
+	}
+	l.Close()
+}
+
+func TestSegmentNames(t *testing.T) {
+	if segName(7) != fmt.Sprintf("wal-%016x.log", 7) || ckptName(7) != fmt.Sprintf("ckpt-%016x", 7) {
+		t.Fatal("name format drifted from the layout Open parses")
+	}
+}

@@ -43,12 +43,15 @@ package minuet
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"minuet/internal/cluster"
 	"minuet/internal/core"
 	"minuet/internal/dyntx"
+	"minuet/internal/sinfonia"
+	"minuet/internal/wal"
 )
 
 // Options configures a Cluster. The zero value is a usable single-machine
@@ -82,6 +85,13 @@ type Options struct {
 	// AllocExtent is the allocator's per-reservation extent size in blocks
 	// (default 64; 1 makes every node allocation a shared compare-and-swap).
 	AllocExtent int
+	// DataDir, when set, gives each memnode a write-ahead redo log in
+	// <DataDir>/node-<i>: acknowledged writes survive a cluster restart
+	// over the same directory. Empty keeps memnodes purely in-memory.
+	DataDir string
+	// NoFsync skips log fsyncs (with DataDir): commits survive process
+	// crashes but not machine crashes.
+	NoFsync bool
 }
 
 // Cluster is an in-process Minuet deployment.
@@ -123,6 +133,22 @@ func NewCluster(opts Options) *Cluster {
 			CacheEntries:    opts.CacheEntries,
 		},
 	}
+	if opts.DataDir != "" {
+		machines := cfg.Machines
+		if machines == 0 {
+			machines = 1
+		}
+		fss := make([]wal.FS, machines)
+		for i := range fss {
+			fs, err := wal.NewOSFS(filepath.Join(opts.DataDir, fmt.Sprintf("node-%d", i)))
+			if err != nil {
+				panic(err)
+			}
+			fss[i] = fs
+		}
+		cfg.Durability = func(i int) wal.FS { return fss[i] }
+		cfg.DurOpts = sinfonia.DurOptions{NoFsync: opts.NoFsync}
+	}
 	return &Cluster{cl: cluster.New(cfg), names: make(map[string]int)}
 }
 
@@ -153,6 +179,23 @@ func (c *Cluster) CreateTree(name string) (*Tree, error) {
 	if err := c.cl.CreateTree(idx); err != nil {
 		return nil, err
 	}
+	return c.OpenTree(name, 0)
+}
+
+// AdoptTree registers a tree created by a previous incarnation of this
+// cluster (on durable memnodes — see Options.DataDir) and opens it from the
+// recovered storage without reinitializing it. The name→index catalog is
+// client-side, so names must be adopted in their original creation order.
+func (c *Cluster) AdoptTree(name string) (*Tree, error) {
+	c.mu.Lock()
+	if _, dup := c.names[name]; dup {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("minuet: tree %q already exists", name)
+	}
+	idx := c.next
+	c.next++
+	c.names[name] = idx
+	c.mu.Unlock()
 	return c.OpenTree(name, 0)
 }
 
