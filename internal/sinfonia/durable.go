@@ -180,6 +180,26 @@ func (m *Memnode) maybeCheckpoint() {
 	}()
 }
 
+// checkTxnSize refuses a minitransaction whose redo record might not fit in
+// a wal frame (wal.MaxRecordLen) — checked up front, before any state
+// mutates, so an oversized request gets a clean error instead of poisoning
+// a healthy node when the post-apply append fails. The bound conservatively
+// over-counts the encoding: per-write overhead is at most 20 bytes (addr +
+// version + length) and the record header at most 14.
+func (m *Memnode) checkTxnSize(writes []WriteItem, nAddrs, nParticipants int) error {
+	if m.wal == nil {
+		return nil
+	}
+	bound := int64(64) + 8*int64(nAddrs) + 4*int64(nParticipants)
+	for i := range writes {
+		bound += 24 + int64(len(writes[i].Data))
+	}
+	if bound > wal.MaxRecordLen {
+		return fmt.Errorf("memnode %d: minitransaction too large for a wal record (max %d bytes)", m.id, int64(wal.MaxRecordLen))
+	}
+	return nil
+}
+
 // walAppend encodes and appends a record under m.mu, poisoning the node on
 // failure. Returns 0 when the node is volatile.
 func (m *Memnode) walAppend(payload []byte) (uint64, error) {
@@ -254,6 +274,18 @@ func (d *dec) u64() uint64 {
 	v := binary.LittleEndian.Uint64(d.b)
 	d.b = d.b[8:]
 	return v
+}
+
+// count decodes a u32 element count and bounds it by the bytes remaining:
+// each element occupies at least minElem encoded bytes, so a larger count is
+// a corrupt record — rejected here, before the caller allocates for it.
+func (d *dec) count(minElem int) int {
+	n := int(d.u32())
+	if d.err || n > len(d.b)/minElem {
+		d.err = true
+		return 0
+	}
+	return n
 }
 
 func (d *dec) bytes() []byte {
@@ -355,15 +387,15 @@ func (m *Memnode) replayRecord(p []byte) error {
 		}
 	case recStage:
 		txid := d.u64()
-		addrs := make([]Addr, d.u32())
+		addrs := make([]Addr, d.count(8))
 		for i := range addrs {
 			addrs[i] = Addr(d.u64())
 		}
-		participants := make([]NodeID, d.u32())
+		participants := make([]NodeID, d.count(4))
 		for i := range participants {
 			participants[i] = NodeID(d.u32())
 		}
-		writes := make([]WriteItem, d.u32())
+		writes := make([]WriteItem, d.count(12))
 		for i := range writes {
 			writes[i].Node = m.id
 			writes[i].Addr = Addr(d.u64())
@@ -459,15 +491,15 @@ func (m *Memnode) decodeState(p []byte) error {
 	nStaged := int(d.u32())
 	for i := 0; i < nStaged; i++ {
 		txid := d.u64()
-		addrs := make([]Addr, d.u32())
+		addrs := make([]Addr, d.count(8))
 		for j := range addrs {
 			addrs[j] = Addr(d.u64())
 		}
-		participants := make([]NodeID, d.u32())
+		participants := make([]NodeID, d.count(4))
 		for j := range participants {
 			participants[j] = NodeID(d.u32())
 		}
-		writes := make([]WriteItem, d.u32())
+		writes := make([]WriteItem, d.count(12))
 		for j := range writes {
 			writes[j].Node = m.id
 			writes[j].Addr = Addr(d.u64())

@@ -285,6 +285,78 @@ func TestDurableFailStop(t *testing.T) {
 	}
 }
 
+// TestReplayRejectsHugeCounts: element counts inside a record are untrusted
+// until they fit in the bytes that remain. A corrupt count must fail as
+// errBadRecord, not as a multi-gigabyte allocation during recovery.
+func TestReplayRejectsHugeCounts(t *testing.T) {
+	m := NewMemnode(0)
+	// STAGE record claiming four billion locked addresses, then no body.
+	e := &enc{}
+	e.u8(recStage)
+	e.u64(1)
+	e.u32(0xFFFF_FFFF)
+	if err := m.replayRecord(e.b); !errors.Is(err, errBadRecord) {
+		t.Fatalf("huge addr count: got %v, want errBadRecord", err)
+	}
+
+	// Checkpoint whose staged transaction claims a huge write count.
+	e = &enc{}
+	e.u8(stateVersion)
+	e.u32(0)           // items
+	e.u32(1)           // one staged transaction
+	e.u64(7)           // txid
+	e.u32(0)           // addrs
+	e.u32(0)           // participants
+	e.u32(0xFFFF_FFFF) // writes: far past the end of the buffer
+	if err := m.decodeState(e.b); !errors.Is(err, errBadRecord) {
+		t.Fatalf("huge write count: got %v, want errBadRecord", err)
+	}
+}
+
+// TestDurableOversizedTxnRefused: a minitransaction whose redo record would
+// exceed the wal frame limit is refused before anything mutates — a clean
+// per-request error, not a fail-stopped node (and never an acknowledged
+// write that recovery could not parse back).
+func TestDurableOversizedTxnRefused(t *testing.T) {
+	fs := wal.NewMemFS()
+	m := mustOpen(t, fs, DurOptions{})
+	execWrite(t, m, 1, "before")
+
+	big := make([]byte, wal.MaxRecordLen)
+	if _, err := m.HandleRPC(&ExecCommitReq{
+		Txid:   nextTxid(),
+		Writes: []WriteItem{{Node: 0, Addr: 2, Data: big}},
+	}); err == nil {
+		t.Fatal("oversized one-phase write acknowledged")
+	}
+	if _, err := m.HandleRPC(&PrepareReq{
+		Txid:         nextTxid(),
+		Writes:       []WriteItem{{Node: 0, Addr: 2, Data: big}},
+		Participants: []NodeID{0, 1},
+	}); err == nil {
+		t.Fatal("oversized prepare acknowledged")
+	}
+
+	// The node is still healthy and nothing leaked into memory or the log.
+	execWrite(t, m, 3, "after")
+	if _, ok := itemData(m, 2); ok {
+		t.Fatal("oversized write applied")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m2 := mustOpen(t, fs, DurOptions{})
+	defer m2.Close()
+	for addr, want := range map[Addr]string{1: "before", 3: "after"} {
+		if got, _ := itemData(m2, addr); got != want {
+			t.Fatalf("addr %d: %q, want %q", addr, got, want)
+		}
+	}
+	if _, ok := itemData(m2, 2); ok {
+		t.Fatal("oversized write resurfaced after recovery")
+	}
+}
+
 func TestVolatileMemnodeUnchanged(t *testing.T) {
 	// A plain NewMemnode never touches a log: Durable is false, Close is a
 	// no-op, and the handler path takes no fail-stop branch.

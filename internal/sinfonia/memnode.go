@@ -337,6 +337,9 @@ func (m *Memnode) forwardToBackup(rep *ReplicaApplyReq) {
 
 func (m *Memnode) execCommit(r *ExecCommitReq) (*ExecResp, error) {
 	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
+	if err := m.checkTxnSize(r.Writes, 0, 0); err != nil {
+		return nil, err
+	}
 
 	m.mu.Lock()
 	if r.Blocking {
@@ -380,6 +383,11 @@ func (m *Memnode) execCommit(r *ExecCommitReq) (*ExecResp, error) {
 
 func (m *Memnode) prepare(r *PrepareReq) (*ExecResp, error) {
 	addrs := touchedAddrs(r.Compares, r.Reads, r.Writes)
+	// The STAGE bound dominates phase two's APPLY record for the same
+	// writes, so checking here covers commit() too.
+	if err := m.checkTxnSize(r.Writes, len(addrs), len(r.Participants)); err != nil {
+		return nil, err
+	}
 
 	m.mu.Lock()
 

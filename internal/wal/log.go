@@ -30,8 +30,15 @@ import (
 
 const (
 	frameHeaderLen = 8
-	// maxRecordLen rejects absurd lengths when scanning a corrupt tail.
-	maxRecordLen = 64 << 20
+	// MaxRecordLen is the largest payload Append accepts. Recovery's
+	// torn-tail scan rejects any frame claiming more as garbage, so the
+	// bound must hold at write time: a larger record would be durably
+	// written yet unparseable on restart.
+	MaxRecordLen = 64 << 20
+	// maxCheckpointLen bounds checkpoint state instead of MaxRecordLen:
+	// checkpoints serialize a whole memnode and legitimately outgrow any
+	// per-record limit, so they get the full 32-bit length field.
+	maxCheckpointLen = 1<<32 - 1
 
 	segPrefix  = "wal-"
 	segSuffix  = ".log"
@@ -41,6 +48,10 @@ const (
 
 // ErrClosed is returned by operations on a closed log.
 var ErrClosed = errors.New("wal: log closed")
+
+// ErrTooLarge is returned by Append and FinishCheckpoint when a payload
+// exceeds its framing limit. Nothing is written and the log stays usable.
+var ErrTooLarge = errors.New("wal: payload exceeds framing limit")
 
 // Options configures a Log.
 type Options struct {
@@ -146,7 +157,7 @@ func Open(fs FS, opts Options) (*Log, *Recovered, error) {
 	}
 	for i, s := range replay {
 		last := i == len(replay)-1
-		recs, valid, size, err := scanSegment(fs, segName(s))
+		recs, valid, size, err := scanSegment(fs, segName(s), MaxRecordLen)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -206,10 +217,12 @@ func frameCRC(lenBytes, payload []byte) uint32 {
 	return crc32.Update(c, crc32.IEEETable, payload)
 }
 
-// scanSegment parses whole records from a segment, returning them plus the
+// scanSegment parses whole records from a file, returning them plus the
 // offset of the first byte that is not part of a whole valid record and the
-// segment size.
-func scanSegment(fs FS, name string) (recs [][]byte, valid, size int64, err error) {
+// file size. maxLen is the framing limit the writer enforced (MaxRecordLen
+// for segments, maxCheckpointLen for checkpoints): any frame claiming more
+// is a garbage length, not a record.
+func scanSegment(fs FS, name string, maxLen int64) (recs [][]byte, valid, size int64, err error) {
 	f, err := fs.Open(name)
 	if err != nil {
 		return nil, 0, 0, err
@@ -230,7 +243,7 @@ func scanSegment(fs FS, name string) (recs [][]byte, valid, size int64, err erro
 		hdr := buf[off : off+frameHeaderLen]
 		n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
-		if n > maxRecordLen || off+frameHeaderLen+n > size {
+		if n > maxLen || off+frameHeaderLen+n > size {
 			break // torn or garbage length
 		}
 		payload := buf[off+frameHeaderLen : off+frameHeaderLen+n]
@@ -262,7 +275,7 @@ func truncateSegment(fs FS, name string, valid int64, noSync bool) error {
 // readCheckpoint parses ckpt-<seq>. ok=false means the file is unreadable
 // or fails its checksum (a torn checkpoint is skipped, not fatal).
 func readCheckpoint(fs FS, seq uint64) (state []byte, ok bool, err error) {
-	recs, valid, size, err := scanSegment(fs, ckptName(seq))
+	recs, valid, size, err := scanSegment(fs, ckptName(seq), maxCheckpointLen)
 	if err != nil {
 		return nil, false, nil // unreadable: treat like torn
 	}
@@ -277,6 +290,9 @@ func readCheckpoint(fs FS, seq uint64) (state []byte, ok bool, err error) {
 // replay order, so callers append under whatever lock orders their state
 // mutations.
 func (l *Log) Append(payload []byte) (uint64, error) {
+	if int64(len(payload)) > MaxRecordLen {
+		return 0, fmt.Errorf("%w: %d-byte record (max %d)", ErrTooLarge, len(payload), int64(MaxRecordLen))
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if err := l.usable(); err != nil {
@@ -325,7 +341,9 @@ func (l *Log) Commit(lsn uint64) error {
 		}
 		l.mu.Lock()
 		l.flushing = false
-		l.stats.Syncs++
+		if !l.noSync {
+			l.stats.Syncs++
+		}
 		if err != nil {
 			l.cond.Broadcast()
 			return l.fail(err)
@@ -355,8 +373,17 @@ func (l *Log) AppendCommit(payload []byte) error {
 func (l *Log) BeginCheckpoint() (cut uint64, err error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.usable(); err != nil {
-		return 0, err
+	// Wait out an in-flight group-commit leader: it syncs the active
+	// segment through a handle captured outside the lock, and the rotation
+	// below must not close that handle under it.
+	for {
+		if err := l.usable(); err != nil {
+			return 0, err
+		}
+		if !l.flushing {
+			break
+		}
+		l.cond.Wait()
 	}
 	if !l.noSync {
 		if err := l.f.Sync(); err != nil {
@@ -388,6 +415,12 @@ func (l *Log) BeginCheckpoint() (cut uint64, err error) {
 // concurrently. A crash anywhere in here is safe — recovery falls back to
 // the previous checkpoint until the new one's rename is durable.
 func (l *Log) FinishCheckpoint(cut uint64, state []byte) error {
+	if int64(len(state)) > maxCheckpointLen {
+		// Not a poisoning failure: nothing was written, appends still work,
+		// and recovery replays the untruncated log. The owner just cannot
+		// compact until its state shrinks.
+		return fmt.Errorf("%w: %d-byte checkpoint (max %d)", ErrTooLarge, len(state), int64(maxCheckpointLen))
+	}
 	tmp := ckptName(cut) + tmpSuffix
 	f, err := l.fs.Create(tmp)
 	if err != nil {
@@ -461,6 +494,14 @@ func (l *Log) Err() error {
 func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	// Same discipline as BeginCheckpoint: never close the segment under a
+	// group-commit leader's in-flight sync.
+	for l.flushing {
+		l.cond.Wait()
+	}
 	if l.closed {
 		return nil
 	}

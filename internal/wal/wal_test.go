@@ -461,6 +461,241 @@ func TestNoFsyncSurvivesProcessCrashOnly(t *testing.T) {
 	l.Close()
 }
 
+// TestAppendRejectsOversizedRecord: the frame limit recovery enforces when
+// scanning a torn tail must also hold at write time — otherwise an
+// acknowledged record would be durably written yet unparseable on restart.
+// The rejection is clean: nothing is written and the log keeps working.
+func TestAppendRejectsOversizedRecord(t *testing.T) {
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append(make([]byte, MaxRecordLen+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("oversized append: got %v, want ErrTooLarge", err)
+	}
+	if l.Err() != nil {
+		t.Fatalf("clean rejection must not poison the log: %v", l.Err())
+	}
+	if err := l.AppendCommit(rec(0)); err != nil {
+		t.Fatalf("log unusable after rejected append: %v", err)
+	}
+	l.Close()
+
+	_, r, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := replayCount(t, r); got != 1 {
+		t.Fatalf("recovered %d records, want 1", got)
+	}
+	if r.Truncated {
+		t.Fatal("rejected append left bytes on disk")
+	}
+}
+
+// TestLargeCheckpointRoundTrip: checkpoints serialize a memnode's whole
+// state and legitimately outgrow the per-record frame limit. One larger
+// than MaxRecordLen must write and recover intact — before checkpoints got
+// their own framing bound, recovery silently discarded it (and its cleanup
+// had already deleted the covered segments, losing everything).
+func TestLargeCheckpointRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocates a >64 MiB checkpoint")
+	}
+	fs := NewMemFS()
+	l, _, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 3; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cut, err := l.BeginCheckpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := make([]byte, MaxRecordLen+MaxRecordLen/2)
+	for i := range state {
+		state[i] = byte(i * 7)
+	}
+	binary.LittleEndian.PutUint64(state, 3) // replayCount reads the prefix
+	if err := l.FinishCheckpoint(cut, state); err != nil {
+		t.Fatalf("large checkpoint rejected: %v", err)
+	}
+	if err := l.AppendCommit(rec(3)); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+
+	_, r, err := Open(fs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Checkpoint == nil {
+		t.Fatal("large checkpoint discarded on recovery")
+	}
+	if len(r.Checkpoint) != len(state) {
+		t.Fatalf("checkpoint came back %d bytes, want %d", len(r.Checkpoint), len(state))
+	}
+	for _, off := range []int{8, len(state) / 2, len(state) - 1} {
+		if r.Checkpoint[off] != state[off] {
+			t.Fatalf("checkpoint byte %d corrupted", off)
+		}
+	}
+	if got := replayCount(t, r); got != 4 {
+		t.Fatalf("recovered %d records, want 4", got)
+	}
+}
+
+// gateFS lets a test hold one Sync call open and detect a sync issued after
+// the file was closed — the interleaving of a group-commit leader racing a
+// checkpoint rotation.
+type gateFS struct {
+	FS
+	mu      sync.Mutex
+	armed   bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+// arm makes the next File.Sync signal entered and block until release.
+func (g *gateFS) arm() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.armed = true
+	g.entered = make(chan struct{})
+	g.release = make(chan struct{})
+}
+
+func (g *gateFS) Create(name string) (File, error) {
+	f, err := g.FS.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+func (g *gateFS) Open(name string) (File, error) {
+	f, err := g.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &gateFile{File: f, g: g}, nil
+}
+
+type gateFile struct {
+	File
+	g      *gateFS
+	mu     sync.Mutex
+	closed bool
+}
+
+func (f *gateFile) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	return f.File.Close()
+}
+
+func (f *gateFile) Sync() error {
+	f.g.mu.Lock()
+	armed := f.g.armed
+	entered, release := f.g.entered, f.g.release
+	if armed {
+		f.g.armed = false
+	}
+	f.g.mu.Unlock()
+	if armed {
+		close(entered)
+		<-release
+	}
+	// Like a real os.File (unlike MemFS), fail a sync on a closed handle —
+	// this is what fail-stopped the node in the original bug.
+	f.mu.Lock()
+	closed := f.closed
+	f.mu.Unlock()
+	if closed {
+		return errors.New("sync on closed file")
+	}
+	return f.File.Sync()
+}
+
+// TestCheckpointWaitsForCommitFlush: BeginCheckpoint must not close the
+// active segment under a group-commit leader mid-fsync. It used to, making
+// the leader's sync fail on the closed handle and the sticky failure
+// fail-stop a perfectly healthy node.
+func TestCheckpointWaitsForCommitFlush(t *testing.T) {
+	g := &gateFS{FS: NewMemFS()}
+	l, _, err := Open(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	lsn, err := l.Append(rec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.arm()
+	// Idempotent release so a failing run frees the blocked leader instead
+	// of deadlocking the deferred Close.
+	var releaseOnce sync.Once
+	release := func() { releaseOnce.Do(func() { close(g.release) }) }
+	defer release()
+	commitErr := make(chan error, 1)
+	go func() { commitErr <- l.Commit(lsn) }()
+	<-g.entered // the leader is inside Sync on the active segment
+
+	ckptErr := make(chan error, 1)
+	go func() {
+		cut, err := l.BeginCheckpoint()
+		if err == nil {
+			err = l.FinishCheckpoint(cut, rec(1))
+		}
+		ckptErr <- err
+	}()
+	// The rotation must block behind the in-flight flush.
+	select {
+	case err := <-ckptErr:
+		t.Fatalf("checkpoint rotated under an in-flight flush (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	release()
+	if err := <-commitErr; err != nil {
+		t.Fatalf("commit failed under concurrent checkpoint: %v", err)
+	}
+	if err := <-ckptErr; err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := l.Err(); err != nil {
+		t.Fatalf("log poisoned by a healthy commit/checkpoint race: %v", err)
+	}
+	if err := l.AppendCommit(rec(2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoFsyncReportsZeroSyncs: Stats.Syncs counts fsyncs actually issued.
+// With NoFsync the group-commit leader skips the sync and must not count
+// one (benchmarks derive fsyncs/key from this counter).
+func TestNoFsyncReportsZeroSyncs(t *testing.T) {
+	l, _, err := Open(NewMemFS(), Options{NoFsync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := uint64(0); i < 5; i++ {
+		if err := l.AppendCommit(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := l.Stats(); s.Syncs != 0 {
+		t.Fatalf("NoFsync log reported %d syncs", s.Syncs)
+	}
+}
+
 func TestSegmentNames(t *testing.T) {
 	if segName(7) != fmt.Sprintf("wal-%016x.log", 7) || ckptName(7) != fmt.Sprintf("ckpt-%016x", 7) {
 		t.Fatal("name format drifted from the layout Open parses")
