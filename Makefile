@@ -1,0 +1,39 @@
+# Developer entry points. CI runs the same commands (see
+# .github/workflows/ci.yml); `make check` is the full pre-push gate.
+
+GO ?= go
+
+.PHONY: build test lint fmt check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -count=1 ./...
+
+# lint runs the project-specific analyzers (docs/STATIC_ANALYSIS.md) plus
+# the stock toolchain checks. staticcheck and govulncheck run in CI but are
+# optional locally: they are skipped with a note if not installed.
+lint: fmt
+	$(GO) vet ./...
+	$(GO) run ./cmd/minuet-vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (CI runs it)"; \
+	fi
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; \
+		echo "$$out" >&2; \
+		exit 1; \
+	fi
+
+check: build lint test

@@ -1,0 +1,63 @@
+// Command minuet-vet runs Minuet's project-specific static analyzers
+// (internal/lint) over the named packages, go vet style:
+//
+//	go run ./cmd/minuet-vet ./...
+//	go run ./cmd/minuet-vet -run 'lockcheck|durerr' ./internal/wal
+//	go run ./cmd/minuet-vet -list
+//
+// It exits non-zero if any analyzer reports a finding. Findings are
+// suppressed per line with `//lint:ignore <analyzer> <reason>`; see
+// docs/STATIC_ANALYSIS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"minuet/internal/lint"
+)
+
+func main() {
+	listFlag := flag.Bool("list", false, "list analyzers and exit")
+	runFlag := flag.String("run", "", "only run analyzers matching this regexp")
+	flag.Parse()
+
+	analyzers := lint.Analyzers()
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var reg *regexp.Regexp
+	if *runFlag != "" {
+		var err error
+		if reg, err = regexp.Compile(*runFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "minuet-vet: bad -run regexp: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minuet-vet: %v\n", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(cwd, flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "minuet-vet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.Run(pkgs, analyzers, reg)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "minuet-vet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

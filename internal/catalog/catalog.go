@@ -89,7 +89,7 @@ type Catalog struct {
 	local   sinfonia.NodeID
 
 	mu      sync.RWMutex
-	entries map[uint64]Entry
+	entries map[uint64]Entry // guarded by mu
 }
 
 // New returns a catalog view reading from the given preferred replica.

@@ -73,7 +73,7 @@ type Proxy struct {
 	Local  sinfonia.NodeID
 
 	mu    sync.Mutex
-	trees map[int]*core.BTree
+	trees map[int]*core.BTree // guarded by mu
 	cl    *Cluster
 }
 
@@ -89,8 +89,8 @@ type Cluster struct {
 	closeOnce sync.Once
 
 	mu    sync.Mutex
-	scs   map[int]*core.SCS // treeIdx -> service (hosted on machine 0)
-	trees int
+	scs   map[int]*core.SCS // guarded by mu; treeIdx -> service (hosted on machine 0)
+	trees int               // guarded by mu
 }
 
 // SCS RPC messages.

@@ -115,6 +115,7 @@ func verifyRecovered(t *testing.T, rcl *Cluster, res durRun, ptrs map[sinfonia.P
 	}
 	c := rcl.Proxy(0).Client
 	pendingSeen, pendingMissing := 0, 0
+	//lint:ignore detcheck order-independent verification: every pointer is checked the same way and failures report the key
 	for p := range ptrs {
 		r, err := c.Read(p)
 		if err != nil {

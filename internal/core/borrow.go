@@ -25,8 +25,8 @@ type ProxyBorrower struct {
 
 	mu       sync.Mutex
 	acquired atomic.Int64 // completed acquisitions (local analogue of numSnapshots)
-	last     Snapshot
-	haveLast bool
+	last     Snapshot     // guarded by mu
+	haveLast bool         // guarded by mu
 
 	fetched  atomic.Int64
 	borrowed atomic.Int64

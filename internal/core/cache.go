@@ -25,7 +25,7 @@ type cacheEntry struct {
 type nodeCache struct {
 	mu  sync.RWMutex
 	max int
-	m   map[Ptr]cacheEntry
+	m   map[Ptr]cacheEntry // guarded by mu
 
 	hits   atomic.Int64
 	misses atomic.Int64

@@ -29,9 +29,9 @@ type SCS struct {
 
 	mu           sync.Mutex
 	numSnapshots atomic.Int64
-	last         Snapshot
-	haveLast     bool
-	lastAt       time.Time
+	last         Snapshot  // guarded by mu
+	haveLast     bool      // guarded by mu
+	lastAt       time.Time // guarded by mu
 
 	created  atomic.Int64
 	borrowed atomic.Int64

@@ -105,7 +105,7 @@ type BTree struct {
 	local sinfonia.NodeID
 
 	tipMu sync.Mutex
-	tip   tipState
+	tip   tipState // guarded by tipMu
 
 	cat *catalog.Catalog // branching mode only
 

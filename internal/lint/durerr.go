@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DurErr enforces the WAL fail-stop contract: the error result of a
+// mutating storage call must reach a handler that can fail-stop the node —
+// it must never be dropped. PR 4's durability design is explicit that a
+// dropped Sync error is an acknowledged-but-lost write, the one bug class
+// recovery cannot paper over.
+//
+// Concretely: a call whose receiver is a type declared in minuet/internal/wal
+// (the FS and File interfaces, their implementations, and *wal.Log) and
+// whose method is one of Create, Open, Write, Truncate, Sync, Rename,
+// Remove, SyncDir, Append, or Commit must not appear as a bare statement,
+// under go/defer, or with its error result assigned to _.
+//
+// _test.go files are exempt: tests legitimately discard errors when driving
+// crash injection. Production call sites that really do want best-effort
+// semantics (there are few) document it with //lint:ignore durerr <reason>.
+var DurErr = &Analyzer{
+	Name: "durerr",
+	Doc:  "error results of wal.FS/wal.File/wal.Log mutating calls must not be discarded",
+	Run:  runDurErr,
+}
+
+// walPkgPath is the package whose storage types durerr watches. The
+// fixture package under testdata imports the real package, so an exact
+// path is right for tests and production runs alike.
+const walPkgPath = "minuet/internal/wal"
+
+var durErrMethods = map[string]bool{
+	"Create": true, "Open": true, "Write": true, "Truncate": true,
+	"Sync": true, "Rename": true, "Remove": true, "SyncDir": true,
+	"Append": true, "Commit": true,
+}
+
+func runDurErr(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					checkDiscarded(pass, call, "discarded")
+				}
+			case *ast.GoStmt:
+				checkDiscarded(pass, st.Call, "discarded by go statement")
+			case *ast.DeferStmt:
+				checkDiscarded(pass, st.Call, "discarded by defer")
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, st)
+			}
+			return true
+		})
+	}
+}
+
+// walMutatorError returns the method name and the index of its error
+// result if call is a watched wal mutating call, or ("", -1).
+func walMutatorError(pass *Pass, call *ast.CallExpr) (string, int) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !durErrMethods[sel.Sel.Name] {
+		return "", -1
+	}
+	recv, ok := pass.Info.Types[sel.X]
+	if !ok || !typeDeclaredIn(recv.Type, walPkgPath) {
+		return "", -1
+	}
+	sig, ok := pass.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return "", -1
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			return sel.Sel.Name, i
+		}
+	}
+	return "", -1
+}
+
+func checkDiscarded(pass *Pass, call *ast.CallExpr, how string) {
+	if name, idx := walMutatorError(pass, call); idx >= 0 {
+		pass.Reportf(call.Pos(), "error from wal %s %s: storage errors must fail-stop the node, not vanish", name, how)
+	}
+}
+
+func checkBlankAssign(pass *Pass, st *ast.AssignStmt) {
+	// Only the form lhs... = onecall() can discard a specific result.
+	if len(st.Rhs) != 1 {
+		return
+	}
+	call, ok := st.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, idx := walMutatorError(pass, call)
+	if idx < 0 {
+		return
+	}
+	// Single-value context: _ = f.Sync()
+	if len(st.Lhs) == 1 && idx == 0 {
+		if id, ok := st.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(st.Pos(), "error from wal %s assigned to _: storage errors must fail-stop the node, not vanish", name)
+		}
+		return
+	}
+	if idx < len(st.Lhs) {
+		if id, ok := st.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+			pass.Reportf(st.Pos(), "error from wal %s assigned to _: storage errors must fail-stop the node, not vanish", name)
+		}
+	}
+}

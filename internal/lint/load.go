@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+}
+
+// Load builds and type-checks the packages matching patterns (resolved by
+// the go tool from dir). It shells out to
+//
+//	go list -test -deps -export -json <patterns>
+//
+// which compiles every dependency and hands back gc export data; imports are
+// then resolved through that export data while the target packages
+// themselves are parsed and type-checked from source, in-package _test.go
+// files included. This is a vendored-free stand-in for
+// golang.org/x/tools/go/packages that needs only the standard library and
+// the go toolchain already on the machine.
+//
+// External test packages (package foo_test) are not loaded; this repository
+// keeps all tests in-package, and Load reports an error if that changes so
+// the gap cannot open silently.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-test", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list failed: %v\n%s", err, stderr.String())
+	}
+
+	exports := make(map[string]string) // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("parsing go list output: %v", err)
+		}
+		// "p [p.test]" test variants and "p.test" binaries are artifacts of
+		// -test; the regular entry is the one other packages import.
+		variant := strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test")
+		if p.Export != "" && !variant {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && !variant && p.ForTest == "" {
+			if len(p.XTestGoFiles) > 0 {
+				return nil, fmt.Errorf("%s has external test files (%s): the lint loader only handles in-package tests — move them in-package or extend Load",
+					p.ImportPath, strings.Join(p.XTestGoFiles, ", "))
+			}
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files := make([]*ast.File, 0, len(t.GoFiles)+len(t.TestGoFiles))
+		for _, name := range append(append([]string{}, t.GoFiles...), t.TestGoFiles...) {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			files = append(files, f)
+		}
+		pkg, info, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
+	}
+	return pkgs, nil
+}
+
+// TypeCheck type-checks one package's files with the given importer and
+// returns the package and a fully-populated types.Info. Shared by Load and
+// the fixture test harness.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*types.Package, *types.Info, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}

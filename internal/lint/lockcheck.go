@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockCheck enforces the "guarded by <mu>" annotation convention.
+//
+// A struct field whose doc or line comment contains "guarded by <name>"
+// (e.g. `items map[Addr]*item // guarded by mu`) may only be read or
+// written inside a function that either
+//
+//   - syntactically acquires a mutex field of that name — a call to
+//     <x>.<name>.Lock() or <x>.<name>.RLock() anywhere in the body — or
+//   - is named *Locked, declaring that its caller holds the lock.
+//
+// The check is intentionally name-based and intraprocedural: it cannot see
+// that a helper is only called with the lock held (name it *Locked), cannot
+// distinguish two instances of the same struct, and treats a closure as
+// running under its enclosing function's locks. Those limits are the price
+// of a checker with no dependencies; they match how the annotation is
+// actually used here, and every escape hatch is an explicit rename or a
+// justified //lint:ignore. Accesses in _test.go files are exempt — tests
+// routinely inspect quiesced state — as are composite-literal keys
+// (construction happens before the value is shared).
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc: "fields annotated `guarded by <mu>` must only be accessed under that mutex " +
+		"or from functions named *Locked",
+	Run: runLockCheck,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_][A-Za-z0-9_]*)`)
+
+func runLockCheck(pass *Pass) {
+	guarded := make(map[types.Object]string) // field object -> mutex field name
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := ""
+				if field.Doc != nil {
+					if m := guardedRe.FindStringSubmatch(field.Doc.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" && field.Comment != nil {
+					if m := guardedRe.FindStringSubmatch(field.Comment.Text()); m != nil {
+						mu = m[1]
+					}
+				}
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") || pass.IsTestFile(fn.Pos()) {
+				continue
+			}
+			held := heldMutexes(fn.Body)
+			checkGuardedAccesses(pass, fn, guarded, held)
+		}
+	}
+}
+
+// heldMutexes returns the set of mutex field names for which body contains
+// a <x>.<name>.Lock() or <x>.<name>.RLock() call (including deferred and
+// closure-scoped ones — the check is order-insensitive by design).
+func heldMutexes(body *ast.BlockStmt) map[string]bool {
+	held := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr: // m.mu.Lock()
+			held[x.Sel.Name] = true
+		case *ast.Ident: // mu.Lock() on a local or package-level mutex
+			held[x.Name] = true
+		}
+		return true
+	})
+	return held
+}
+
+func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object]string, held map[string]bool) {
+	// Composite-literal keys resolve to field objects in Info.Uses but are
+	// construction, not shared-state access; collect them so the walk below
+	// can skip them.
+	litKeys := make(map[*ast.Ident]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					litKeys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || litKeys[id] {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		mu, ok := guarded[obj]
+		if !ok || held[mu] {
+			return true
+		}
+		pass.Reportf(id.Pos(), "field %q (guarded by %s) accessed in %s without holding %s (lock it, rename the function *Locked, or lint:ignore with a reason)",
+			id.Name, mu, fn.Name.Name, mu)
+		return true
+	})
+}

@@ -1,0 +1,47 @@
+// Package detcheck is a fixture for the detcheck analyzer, which polices
+// the deterministic simulation packages: no wall-clock reads, no global
+// math/rand, no map-iteration-order dependence. The package name matches an
+// entry in detCheckPkgs so the analyzer's Scope admits it.
+package detcheck
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()               // want `time\.Now reads the wall clock in deterministic sim code`
+	time.Sleep(time.Microsecond) // want `time\.Sleep reads the wall clock in deterministic sim code`
+	_ = time.Since(time.Time{})  // want `time\.Since reads the wall clock in deterministic sim code`
+	_ = rand.Intn(10)            // want `global rand\.Intn is unseeded`
+	_ = rand.Int63()             // want `global rand\.Int63 is unseeded`
+	m := map[string]int{"a": 1}
+	for k := range m { // want `map iteration order is nondeterministic`
+		_ = k
+	}
+}
+
+func good(seed int64) int {
+	// Constructors and instance methods force the seed decision to the
+	// caller, which is exactly the discipline detcheck wants.
+	r := rand.New(rand.NewSource(seed))
+	total := r.Intn(10)
+
+	// Duration arithmetic never reads the clock.
+	d := 5 * time.Millisecond
+	_ = d
+
+	// Slices iterate in a deterministic order.
+	for _, v := range []int{1, 2, 3} {
+		total += v
+	}
+
+	// A commutative reduction over a map is order-independent; the
+	// justification rides on the directive.
+	m := map[string]int{"a": 1, "b": 2}
+	//lint:ignore detcheck commutative sum; iteration order cannot affect the result
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,56 @@
+// Package durerr is a fixture for the durerr analyzer: error results of
+// wal.FS / wal.File / wal.Log mutating calls must not be discarded outside
+// _test.go files. The fixture imports the real wal package so the receiver
+// types are exactly what production call sites use.
+package durerr
+
+import "minuet/internal/wal"
+
+func discards(fs wal.FS, f wal.File, l *wal.Log) {
+	f.Sync()            // want `error from wal Sync discarded`
+	fs.Remove("seg")    // want `error from wal Remove discarded`
+	_ = f.Sync()        // want `error from wal Sync assigned to _`
+	_, _ = f.Write(nil) // want `error from wal Write assigned to _`
+	defer f.Sync()      // want `error from wal Sync discarded by defer`
+	go fs.SyncDir()     // want `error from wal SyncDir discarded by go statement`
+	l.Commit(1)         // want `error from wal Commit discarded`
+}
+
+// handled returns or inspects every error: the contract is satisfied.
+func handled(fs wal.FS, f wal.File, l *wal.Log) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if _, err := l.Append([]byte("rec")); err != nil {
+		return err
+	}
+	n, err := f.Write([]byte("x"))
+	_ = n
+	if err != nil {
+		return err
+	}
+	return fs.Rename("old", "new")
+}
+
+// bestEffort is the escape hatch: a justified suppression for a call whose
+// failure genuinely cannot lose acknowledged data.
+func bestEffort(fs wal.FS) {
+	//lint:ignore durerr best-effort cleanup of an orphaned temp file; no acknowledged write depends on it
+	_ = fs.Remove("tmp")
+}
+
+// closeQuietly is silent by design: Close is not a watched method, because
+// shutdown legitimately races a prior fail-stop.
+func closeQuietly(l *wal.Log) {
+	l.Close()
+}
+
+// fakeFile has the same method names but is declared here, not in the wal
+// package, so the analyzer ignores it.
+type fakeFile struct{}
+
+func (fakeFile) Sync() error { return nil }
+
+func notWal(f fakeFile) {
+	f.Sync()
+}

@@ -1,0 +1,79 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestVirtualClockAdvances: Delay under a Virtual clock advances simulated
+// time by exactly the requested amount, every time.
+func TestVirtualClockAdvances(t *testing.T) {
+	v := new(Virtual)
+	prev := SetClock(v)
+	defer SetClock(prev)
+
+	t0 := v.Now()
+	Delay(3 * time.Second)
+	Delay(500 * time.Millisecond)
+	if got := v.Now().Sub(t0); got != 3500*time.Millisecond {
+		t.Fatalf("virtual time advanced %v, want 3.5s", got)
+	}
+}
+
+// TestVirtualClockInstantaneous: a thousand virtual hours of latency must
+// cost (almost) no real time — the property that makes deterministic sweeps
+// affordable.
+func TestVirtualClockInstantaneous(t *testing.T) {
+	v := new(Virtual)
+	prev := SetClock(v)
+	defer SetClock(prev)
+
+	//lint:ignore detcheck this test asserts that virtual sleeps take no real time, so it must read the real clock
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		Delay(time.Hour)
+	}
+	//lint:ignore detcheck this test asserts that virtual sleeps take no real time, so it must read the real clock
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("1000 virtual hours took %v of real time", elapsed)
+	}
+	if got := v.Now().Sub(time.Unix(0, 0)); got != 1000*time.Hour {
+		t.Fatalf("virtual clock at %v, want 1000h", got)
+	}
+}
+
+// TestLocalWithVirtualClock: the Local transport charges its injected
+// latency on the virtual clock — two one-way delays per call — without any
+// real sleeping.
+func TestLocalWithVirtualClock(t *testing.T) {
+	v := new(Virtual)
+	prev := SetClock(v)
+	defer SetClock(prev)
+
+	l := NewLocal(250 * time.Millisecond)
+	l.Bind(1, HandlerFunc(func(req any) (any, error) { return req, nil }))
+
+	t0 := v.Now()
+	resp, err := l.Call(1, "ping")
+	if err != nil || resp != "ping" {
+		t.Fatalf("Call = %v, %v", resp, err)
+	}
+	if got := v.Now().Sub(t0); got != 500*time.Millisecond {
+		t.Fatalf("virtual clock charged %v, want 500ms (two one-way latencies)", got)
+	}
+}
+
+// TestSetClockRestores: SetClock returns the previous clock so tests can
+// restore it; the default is Wall.
+func TestSetClockRestores(t *testing.T) {
+	v := new(Virtual)
+	prev := SetClock(v)
+	if CurrentClock() != Clock(v) {
+		t.Fatalf("CurrentClock = %v, want the installed Virtual", CurrentClock())
+	}
+	SetClock(prev)
+	if _, ok := CurrentClock().(Wall); !ok {
+		t.Fatalf("restored clock is %T, want Wall", CurrentClock())
+	}
+}

@@ -15,7 +15,6 @@ package netsim
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -59,8 +58,8 @@ type Local struct {
 	oneWay atomic.Int64 // nanoseconds of one-way latency
 
 	mu       sync.RWMutex
-	handlers map[NodeID]Handler
-	down     map[NodeID]bool
+	handlers map[NodeID]Handler // guarded by mu
+	down     map[NodeID]bool    // guarded by mu
 
 	// Per-node liveness bookkeeping lives outside the mutex so the RPC hot
 	// path stays read-locked: inflight counts handlers currently running,
@@ -176,27 +175,19 @@ func (l *Local) Call(to NodeID, req any) (any, error) {
 func (l *Local) Quiesce(id NodeID) {
 	lv := l.livenessOf(id)
 	for lv.inflight.Load() != 0 {
-		time.Sleep(50 * time.Microsecond)
+		CurrentClock().Sleep(50 * time.Microsecond)
 	}
 }
 
-// Delay blocks for d with microsecond-level accuracy. Plain time.Sleep
-// rounds short sleeps up to OS timer resolution when the runtime is
-// otherwise idle (~1 ms), which would make lightly-loaded configurations
-// look *slower* than loaded ones and distort every latency comparison the
-// benchmarks make. Delay sleeps for the bulk of d and spins (yielding) for
-// the tail.
+// Delay blocks for d on the active Clock. Under the default Wall clock the
+// sleep has microsecond-level accuracy (see Wall.Sleep); under a Virtual
+// clock it advances simulated time and returns immediately, which is what
+// makes netsim runs fully deterministic.
 func Delay(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	t0 := time.Now()
-	if d > 100*time.Microsecond {
-		time.Sleep(d - 50*time.Microsecond)
-	}
-	for time.Since(t0) < d {
-		runtime.Gosched()
-	}
+	CurrentClock().Sleep(d)
 }
 
 // Stats returns a snapshot of the transport counters.

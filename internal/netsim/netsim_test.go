@@ -49,6 +49,7 @@ func TestRebindReplacesHandler(t *testing.T) {
 func TestLatencyCharged(t *testing.T) {
 	l := NewLocal(200 * time.Microsecond)
 	l.Bind(1, echo{})
+	//lint:ignore detcheck this test verifies that Wall-clock latency really elapses, so it must read the wall clock
 	t0 := time.Now()
 	const n = 10
 	for i := 0; i < n; i++ {
@@ -56,6 +57,7 @@ func TestLatencyCharged(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	//lint:ignore detcheck this test verifies that Wall-clock latency really elapses, so it must read the wall clock
 	elapsed := time.Since(t0)
 	if elapsed < n*2*200*time.Microsecond {
 		t.Fatalf("latency undercharged: %v for %d calls", elapsed, n)
@@ -83,8 +85,10 @@ func TestStatsCounting(t *testing.T) {
 
 func TestDelayAccuracy(t *testing.T) {
 	for _, d := range []time.Duration{20 * time.Microsecond, 200 * time.Microsecond} {
+		//lint:ignore detcheck this test measures Wall.Sleep accuracy against the real clock by design
 		t0 := time.Now()
 		Delay(d)
+		//lint:ignore detcheck this test measures Wall.Sleep accuracy against the real clock by design
 		got := time.Since(t0)
 		if got < d {
 			t.Fatalf("Delay(%v) returned after %v", d, got)

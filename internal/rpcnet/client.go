@@ -48,9 +48,9 @@ type Client struct {
 	PoolSize int
 
 	mu    sync.Mutex
-	addrs map[netsim.NodeID]string
-	peers map[netsim.NodeID]*peer
-	pools map[netsim.NodeID]chan net.Conn // legacy mode only
+	addrs map[netsim.NodeID]string        // guarded by mu
+	peers map[netsim.NodeID]*peer         // guarded by mu
+	pools map[netsim.NodeID]chan net.Conn // guarded by mu; legacy mode only
 }
 
 // NewClient returns a TCP transport over the given node address map.
@@ -144,8 +144,8 @@ type peer struct {
 	rr     atomic.Uint32
 
 	mu     sync.Mutex
-	conns  []*muxConn
-	closed bool
+	conns  []*muxConn // guarded by mu
+	closed bool       // guarded by mu
 }
 
 // muxConnFor picks (or dials) a connection to the peer, round-robin over
@@ -229,9 +229,9 @@ type muxConn struct {
 	wmu   sync.Mutex
 
 	mu      sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan muxReply
-	dead    bool
+	nextID  uint64                   // guarded by mu
+	pending map[uint64]chan muxReply // guarded by mu
+	dead    bool                     // guarded by mu
 }
 
 func newMuxConn(conn net.Conn, window int) *muxConn {

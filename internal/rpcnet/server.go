@@ -26,8 +26,8 @@ type Server struct {
 	handler netsim.Handler
 	wg      sync.WaitGroup
 	mu      sync.Mutex
-	closed  bool
-	conns   map[net.Conn]struct{}
+	closed  bool                  // guarded by mu
+	conns   map[net.Conn]struct{} // guarded by mu
 
 	// Inflight caps concurrently-executing requests per multiplexed
 	// connection (default 256). Set before Serve only.

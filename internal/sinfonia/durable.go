@@ -89,25 +89,35 @@ func OpenDurable(id NodeID, fs wal.FS, opts DurOptions) (*Memnode, error) {
 		return nil, fmt.Errorf("memnode %d: open wal: %w", id, err)
 	}
 	m := NewMemnode(id)
-	if rec.Checkpoint != nil {
-		if err := m.decodeState(rec.Checkpoint); err != nil {
-			l.Close()
-			return nil, fmt.Errorf("memnode %d: checkpoint: %w", id, err)
+	// The node is not shared yet, but replay mutates mu-guarded state, so
+	// hold the lock for the whole restore rather than carve out an
+	// exception to the locking discipline.
+	restore := func() error {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if rec.Checkpoint != nil {
+			if err := m.decodeStateLocked(rec.Checkpoint); err != nil {
+				return fmt.Errorf("memnode %d: checkpoint: %w", id, err)
+			}
 		}
+		for i, p := range rec.Records {
+			if err := m.replayRecordLocked(p); err != nil {
+				return fmt.Errorf("memnode %d: replay record %d: %w", id, i, err)
+			}
+		}
+		// Restored prepares hold their locks again, exactly as before the
+		// restart: phase two (from the original coordinator retrying, or
+		// the recovery coordinator's sweep) finds them where it left them.
+		for txid, st := range m.staged {
+			for _, a := range st.addrs {
+				m.locked[a] = txid
+			}
+		}
+		return nil
 	}
-	for i, p := range rec.Records {
-		if err := m.replayRecord(p); err != nil {
-			l.Close()
-			return nil, fmt.Errorf("memnode %d: replay record %d: %w", id, i, err)
-		}
-	}
-	// Restored prepares hold their locks again, exactly as before the
-	// restart: phase two (from the original coordinator retrying, or the
-	// recovery coordinator's sweep) finds them where it left them.
-	for txid, st := range m.staged {
-		for _, a := range st.addrs {
-			m.locked[a] = txid
-		}
+	if err := restore(); err != nil {
+		l.Close()
+		return nil, err
 	}
 	m.wal = l
 	m.durOpts = opts
@@ -147,7 +157,7 @@ func (m *Memnode) CheckpointNow() error {
 		m.mu.Unlock()
 		return fmt.Errorf("memnode %d: durability failed", m.id)
 	}
-	state := m.encodeState()
+	state := m.encodeStateLocked()
 	// Rotation happens under the memnode mutex: no record can land between
 	// the state snapshot and the cut, so checkpoint+tail replay is exact.
 	cut, err := m.wal.BeginCheckpoint()
@@ -200,9 +210,9 @@ func (m *Memnode) checkTxnSize(writes []WriteItem, nAddrs, nParticipants int) er
 	return nil
 }
 
-// walAppend encodes and appends a record under m.mu, poisoning the node on
+// walAppendLocked encodes and appends a record under m.mu, poisoning the node on
 // failure. Returns 0 when the node is volatile.
-func (m *Memnode) walAppend(payload []byte) (uint64, error) {
+func (m *Memnode) walAppendLocked(payload []byte) (uint64, error) {
 	if m.wal == nil {
 		return 0, nil
 	}
@@ -360,16 +370,19 @@ func encodeResolve(txid uint64, aborted bool) []byte {
 	return e.b
 }
 
-// replayRecord applies one redo record to a recovering memnode. Replay is
+// replayRecordLocked applies one redo record to a recovering memnode. Replay is
 // idempotent (versions guard items), so re-replaying a suffix after an
 // interrupted recovery converges.
-func (m *Memnode) replayRecord(p []byte) error {
+func (m *Memnode) replayRecordLocked(p []byte) error {
 	d := &dec{b: p}
 	switch d.u8() {
 	case recApply:
 		txid := d.u64()
 		staged := d.u8() == 1
-		n := int(d.u32())
+		n := d.count(20) // addr + version + data length prefix per item
+		if d.err {
+			return errBadRecord
+		}
 		for i := 0; i < n; i++ {
 			addr := Addr(d.u64())
 			ver := d.u64()
@@ -420,7 +433,7 @@ func (m *Memnode) replayRecord(p []byte) error {
 			return errBadRecord
 		}
 		if st, ok := m.staged[txid]; ok {
-			m.release(txid, st)
+			m.releaseLocked(txid, st)
 		}
 		if aborted {
 			m.outcomes.record(txid, TxnAborted)
@@ -436,9 +449,9 @@ func (m *Memnode) replayRecord(p []byte) error {
 	return nil
 }
 
-// encodeState serializes the memnode's durable state for a checkpoint:
+// encodeStateLocked serializes the memnode's durable state for a checkpoint:
 // items, staged prepares, and the resolved-outcome log. Caller holds m.mu.
-func (m *Memnode) encodeState() []byte {
+func (m *Memnode) encodeStateLocked() []byte {
 	e := &enc{b: make([]byte, 0, 1024)}
 	e.u8(stateVersion)
 	e.u32(uint32(len(m.items)))
@@ -472,13 +485,13 @@ func (m *Memnode) encodeState() []byte {
 	return e.b
 }
 
-// decodeState loads a checkpoint into a fresh memnode.
-func (m *Memnode) decodeState(p []byte) error {
+// decodeStateLocked loads a checkpoint into a fresh memnode.
+func (m *Memnode) decodeStateLocked(p []byte) error {
 	d := &dec{b: p}
 	if d.u8() != stateVersion {
 		return fmt.Errorf("sinfonia: unknown checkpoint version")
 	}
-	nItems := int(d.u32())
+	nItems := d.count(20) // addr + version + data length prefix per item
 	for i := 0; i < nItems; i++ {
 		addr := Addr(d.u64())
 		ver := d.u64()
@@ -488,7 +501,7 @@ func (m *Memnode) decodeState(p []byte) error {
 		}
 		m.items[addr] = &item{data: data, version: ver}
 	}
-	nStaged := int(d.u32())
+	nStaged := d.count(20) // txid + three element-count prefixes per entry
 	for i := 0; i < nStaged; i++ {
 		txid := d.u64()
 		addrs := make([]Addr, d.count(8))
@@ -515,7 +528,7 @@ func (m *Memnode) decodeState(p []byte) error {
 			preparedAt:   replayPreparedAt(),
 		}
 	}
-	nOut := int(d.u32())
+	nOut := d.count(9) // txid + status byte per outcome
 	for i := 0; i < nOut; i++ {
 		txid := d.u64()
 		status := d.u8()

@@ -295,7 +295,7 @@ func TestReplayRejectsHugeCounts(t *testing.T) {
 	e.u8(recStage)
 	e.u64(1)
 	e.u32(0xFFFF_FFFF)
-	if err := m.replayRecord(e.b); !errors.Is(err, errBadRecord) {
+	if err := m.replayRecordLocked(e.b); !errors.Is(err, errBadRecord) {
 		t.Fatalf("huge addr count: got %v, want errBadRecord", err)
 	}
 
@@ -308,7 +308,7 @@ func TestReplayRejectsHugeCounts(t *testing.T) {
 	e.u32(0)           // addrs
 	e.u32(0)           // participants
 	e.u32(0xFFFF_FFFF) // writes: far past the end of the buffer
-	if err := m.decodeState(e.b); !errors.Is(err, errBadRecord) {
+	if err := m.decodeStateLocked(e.b); !errors.Is(err, errBadRecord) {
 		t.Fatalf("huge write count: got %v, want errBadRecord", err)
 	}
 }

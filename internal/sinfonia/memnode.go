@@ -26,10 +26,10 @@ type Memnode struct {
 	id NodeID
 
 	mu       sync.Mutex
-	items    map[Addr]*item
-	locked   map[Addr]uint64    // addr -> txid that holds the prepare lock
-	staged   map[uint64]*staged // txid -> staged writes
-	outcomes *outcomeLog        // resolved distributed txns (recovery fencing)
+	items    map[Addr]*item     // guarded by mu
+	locked   map[Addr]uint64    // guarded by mu; addr -> txid that holds the prepare lock
+	staged   map[uint64]*staged // guarded by mu; txid -> staged writes
+	outcomes *outcomeLog        // guarded by mu; resolved distributed txns (recovery fencing)
 
 	// Replication. When backup is set, every committed batch of writes is
 	// forwarded to the backup memnode with explicit per-item versions, so
@@ -39,20 +39,21 @@ type Memnode struct {
 	hasBackup bool
 
 	// replicas holds mirrored state for primaries this node backs up,
-	// keyed by primary node id.
+	// keyed by primary node id. guarded by mu.
 	replicas map[NodeID]*replicaStore
 
-	// Durability (see durable.go). wal is nil for volatile memnodes; failed
-	// flips on the first log failure and fail-stops the node: the failing
-	// operation is never acknowledged and every later request is refused.
+	// Durability (see durable.go). wal is nil for volatile memnodes and
+	// fixed after construction; failed flips on the first log failure and
+	// fail-stops the node: the failing operation is never acknowledged and
+	// every later request is refused.
 	wal      *wal.Log
 	durOpts  DurOptions
-	failed   bool
+	failed   bool // guarded by mu
 	ckptBusy atomic.Bool
 
-	commits    int64
-	aborts     int64
-	busyAborts int64
+	commits    int64 // guarded by mu
+	aborts     int64 // guarded by mu
+	busyAborts int64 // guarded by mu
 }
 
 type item struct {
@@ -247,8 +248,8 @@ func (m *Memnode) anyLocked(addrs []Addr, txid uint64) bool {
 	return false
 }
 
-// evalCompares returns the indices of failed comparisons. Caller holds m.mu.
-func (m *Memnode) evalCompares(cmp []CompareItem) []int {
+// evalComparesLocked returns the indices of failed comparisons. Caller holds m.mu.
+func (m *Memnode) evalComparesLocked(cmp []CompareItem) []int {
 	var failed []int
 	for i := range cmp {
 		it := m.items[cmp[i].Addr]
@@ -276,8 +277,8 @@ func (m *Memnode) evalCompares(cmp []CompareItem) []int {
 	return failed
 }
 
-// doReads executes read items. Caller holds m.mu.
-func (m *Memnode) doReads(rd []ReadItem) []ReadResult {
+// doReadsLocked executes read items. Caller holds m.mu.
+func (m *Memnode) doReadsLocked(rd []ReadItem) []ReadResult {
 	out := make([]ReadResult, len(rd))
 	for i := range rd {
 		if it, ok := m.items[rd[i].Addr]; ok {
@@ -289,9 +290,9 @@ func (m *Memnode) doReads(rd []ReadItem) []ReadResult {
 	return out
 }
 
-// applyWrites applies write items and returns the replica batch. Caller
+// applyWritesLocked applies write items and returns the replica batch. Caller
 // holds m.mu.
-func (m *Memnode) applyWrites(wr []WriteItem) *ReplicaApplyReq {
+func (m *Memnode) applyWritesLocked(wr []WriteItem) *ReplicaApplyReq {
 	if len(wr) == 0 {
 		return nil
 	}
@@ -354,19 +355,19 @@ func (m *Memnode) execCommit(r *ExecCommitReq) (*ExecResp, error) {
 		m.mu.Unlock()
 		return &ExecResp{Vote: voteBusy}, nil
 	}
-	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
+	if failed := m.evalComparesLocked(r.Compares); len(failed) > 0 {
 		m.aborts++
 		m.mu.Unlock()
 		return &ExecResp{Vote: voteCompareFail, Failed: failed}, nil
 	}
-	reads := m.doReads(r.Reads)
-	rep := m.applyWrites(r.Writes)
+	reads := m.doReadsLocked(r.Reads)
+	rep := m.applyWritesLocked(r.Writes)
 	var lsn uint64
 	var err error
 	if rep != nil {
 		// Appended under m.mu so log order equals apply order; the fsync
 		// (group commit) happens below, outside the mutex.
-		lsn, err = m.walAppend(encodeApply(r.Txid, false, rep))
+		lsn, err = m.walAppendLocked(encodeApply(r.Txid, false, rep))
 	}
 	m.mu.Unlock()
 	if err != nil {
@@ -403,12 +404,12 @@ func (m *Memnode) prepare(r *PrepareReq) (*ExecResp, error) {
 		m.mu.Unlock()
 		return &ExecResp{Vote: voteBusy}, nil
 	}
-	if failed := m.evalCompares(r.Compares); len(failed) > 0 {
+	if failed := m.evalComparesLocked(r.Compares); len(failed) > 0 {
 		m.aborts++
 		m.mu.Unlock()
 		return &ExecResp{Vote: voteCompareFail, Failed: failed}, nil
 	}
-	reads := m.doReads(r.Reads)
+	reads := m.doReadsLocked(r.Reads)
 	for _, a := range addrs {
 		m.locked[a] = r.Txid
 	}
@@ -418,7 +419,7 @@ func (m *Memnode) prepare(r *PrepareReq) (*ExecResp, error) {
 		participants: r.Participants,
 		preparedAt:   time.Now(),
 	}
-	lsn, err := m.walAppend(encodeStage(r.Txid, addrs, r.Participants, r.Writes))
+	lsn, err := m.walAppendLocked(encodeStage(r.Txid, addrs, r.Participants, r.Writes))
 	hasBackup := m.hasBackup
 	m.mu.Unlock()
 	if err != nil {
@@ -462,17 +463,17 @@ func (m *Memnode) commit(txid uint64) error {
 	var lsn uint64
 	var err error
 	if ok {
-		rep = m.applyWrites(st.writes)
+		rep = m.applyWritesLocked(st.writes)
 		if rep != nil {
 			rep.Txid = txid
-			lsn, err = m.walAppend(encodeApply(txid, true, rep))
+			lsn, err = m.walAppendLocked(encodeApply(txid, true, rep))
 		} else {
 			resolveOnly = m.hasBackup // nothing to write; still clear the mirror
 			// No writes, but the outcome still needs to be durable: the
 			// RESOLVE record clears the stage and fences a late abort.
-			lsn, err = m.walAppend(encodeResolve(txid, false))
+			lsn, err = m.walAppendLocked(encodeResolve(txid, false))
 		}
-		m.release(txid, st)
+		m.releaseLocked(txid, st)
 		m.outcomes.record(txid, TxnCommitted)
 	}
 	m.mu.Unlock()
@@ -501,7 +502,7 @@ func (m *Memnode) abort(txid uint64) error {
 	}
 	if st, ok := m.staged[txid]; ok {
 		m.aborts++
-		m.release(txid, st)
+		m.releaseLocked(txid, st)
 		hadStage = true
 	}
 	// Record the abort even when nothing is staged so that a late commit
@@ -512,7 +513,7 @@ func (m *Memnode) abort(txid uint64) error {
 	if hadStage {
 		// Only staged aborts are logged: with no stage there is nothing a
 		// restart could resurrect, so the fence is only needed in memory.
-		lsn, err = m.walAppend(encodeResolve(txid, true))
+		lsn, err = m.walAppendLocked(encodeResolve(txid, true))
 	}
 	hasBackup := m.hasBackup
 	m.mu.Unlock()
@@ -561,8 +562,8 @@ func (m *Memnode) txnStatus(r *TxnStatusReq) *TxnStatusResp {
 	return &TxnStatusResp{Status: TxnUnknown}
 }
 
-// release drops txid's locks and staging entry. Caller holds m.mu.
-func (m *Memnode) release(txid uint64, st *staged) {
+// releaseLocked drops txid's locks and staging entry. Caller holds m.mu.
+func (m *Memnode) releaseLocked(txid uint64, st *staged) {
 	for _, a := range st.addrs {
 		if m.locked[a] == txid {
 			delete(m.locked, a)
@@ -571,9 +572,9 @@ func (m *Memnode) release(txid uint64, st *staged) {
 	delete(m.staged, txid)
 }
 
-// replica returns (creating if needed) the mirror store for primary `from`.
+// replicaLocked returns (creating if needed) the mirror store for primary `from`.
 // Caller holds m.mu.
-func (m *Memnode) replica(from NodeID) *replicaStore {
+func (m *Memnode) replicaLocked(from NodeID) *replicaStore {
 	rs := m.replicas[from]
 	if rs == nil {
 		rs = &replicaStore{
@@ -589,7 +590,7 @@ func (m *Memnode) replica(from NodeID) *replicaStore {
 func (m *Memnode) replicaApply(r *ReplicaApplyReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rs := m.replica(r.From)
+	rs := m.replicaLocked(r.From)
 	for i := range r.Addrs {
 		cur := rs.items[r.Addrs[i]]
 		if cur != nil && cur.version >= r.Versions[i] {
@@ -608,7 +609,7 @@ func (m *Memnode) replicaApply(r *ReplicaApplyReq) {
 func (m *Memnode) replicaStage(r *ReplicaStageReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rs := m.replica(r.From)
+	rs := m.replicaLocked(r.From)
 	if _, done := rs.resolved.get(r.Txid); done {
 		return // stale (re-)mirror racing the resolve: do not resurrect
 	}
@@ -622,7 +623,7 @@ func (m *Memnode) replicaStage(r *ReplicaStageReq) {
 func (m *Memnode) replicaResolve(r *ReplicaResolveReq) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rs := m.replica(r.From)
+	rs := m.replicaLocked(r.From)
 	delete(rs.staged, r.Txid)
 	status := TxnCommitted
 	if r.Aborted {
@@ -684,7 +685,7 @@ func (m *Memnode) PromoteReplica(primary NodeID) *Memnode {
 func (m *Memnode) SeedReplica(primary NodeID, st *SnapshotStateResp) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	rs := m.replica(primary)
+	rs := m.replicaLocked(primary)
 	for i := range st.Addrs {
 		cur := rs.items[st.Addrs[i]]
 		if cur != nil && cur.version >= st.Versions[i] {

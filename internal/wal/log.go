@@ -89,17 +89,17 @@ type Log struct {
 
 	mu       sync.Mutex
 	cond     *sync.Cond
-	f        File   // active segment
-	seq      uint64 // active segment number
-	appended uint64 // records appended (the last record's LSN)
-	synced   uint64 // records durable
-	flushing bool   // a group-commit leader's fsync is in flight
-	failed   error  // sticky first failure: the log is fail-stop
-	closed   bool
+	f        File   // guarded by mu; active segment
+	seq      uint64 // guarded by mu; active segment number
+	appended uint64 // guarded by mu; records appended (the last record's LSN)
+	synced   uint64 // guarded by mu; records durable
+	flushing bool   // guarded by mu; a group-commit leader's fsync is in flight
+	failed   error  // guarded by mu; sticky first failure: the log is fail-stop
+	closed   bool   // guarded by mu
 
-	sinceCkpt int64 // payload bytes appended since the last rotation
-	stats     Stats
-	scratch   [frameHeaderLen]byte
+	sinceCkpt int64                // guarded by mu; payload bytes appended since the last rotation
+	stats     Stats                // guarded by mu
+	scratch   [frameHeaderLen]byte // guarded by mu
 }
 
 // Open replays the directory's checkpoint and segments, repairs any torn
@@ -114,6 +114,7 @@ func Open(fs FS, opts Options) (*Log, *Recovered, error) {
 	for _, n := range names {
 		switch {
 		case strings.HasSuffix(n, tmpSuffix):
+			//lint:ignore durerr best-effort cleanup of an unfinished checkpoint; failure leaves garbage, never loses data
 			_ = fs.Remove(n) // a checkpoint that never made it
 		case strings.HasPrefix(n, segPrefix) && strings.HasSuffix(n, segSuffix):
 			var s uint64
@@ -181,8 +182,6 @@ func Open(fs FS, opts Options) (*Log, *Recovered, error) {
 	if next == 0 {
 		next = 1
 	}
-	l := &Log{fs: fs, noSync: opts.NoFsync, seq: next}
-	l.cond = sync.NewCond(&l.mu)
 	f, err := fs.Create(segName(next))
 	if err != nil {
 		return nil, nil, err
@@ -191,17 +190,20 @@ func Open(fs FS, opts Options) (*Log, *Recovered, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	l.f = f
+	l := &Log{fs: fs, noSync: opts.NoFsync, seq: next, f: f}
+	l.cond = sync.NewCond(&l.mu)
 
 	// Clean up files a pre-crash checkpoint had already superseded but not
 	// yet deleted.
 	for _, s := range segs {
 		if s < ckptSeq {
+			//lint:ignore durerr best-effort cleanup of superseded segments; failure leaves garbage, never loses data
 			_ = fs.Remove(segName(s))
 		}
 	}
 	for _, s := range ckpts {
 		if s < ckptSeq {
+			//lint:ignore durerr best-effort cleanup of superseded checkpoints; failure leaves garbage, never loses data
 			_ = fs.Remove(ckptName(s))
 		}
 	}
@@ -295,16 +297,16 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if err := l.usable(); err != nil {
+	if err := l.usableLocked(); err != nil {
 		return 0, err
 	}
 	binary.LittleEndian.PutUint32(l.scratch[0:4], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(l.scratch[4:8], frameCRC(l.scratch[0:4], payload))
 	if _, err := l.f.Write(l.scratch[:]); err != nil {
-		return 0, l.fail(err)
+		return 0, l.failLocked(err)
 	}
 	if _, err := l.f.Write(payload); err != nil {
-		return 0, l.fail(err)
+		return 0, l.failLocked(err)
 	}
 	l.appended++
 	l.sinceCkpt += int64(len(payload)) + frameHeaderLen
@@ -321,7 +323,7 @@ func (l *Log) Commit(lsn uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	for {
-		if err := l.usable(); err != nil {
+		if err := l.usableLocked(); err != nil {
 			return err
 		}
 		if l.synced >= lsn {
@@ -346,7 +348,7 @@ func (l *Log) Commit(lsn uint64) error {
 		}
 		if err != nil {
 			l.cond.Broadcast()
-			return l.fail(err)
+			return l.failLocked(err)
 		}
 		if target > l.synced {
 			l.synced = target
@@ -377,7 +379,7 @@ func (l *Log) BeginCheckpoint() (cut uint64, err error) {
 	// segment through a handle captured outside the lock, and the rotation
 	// below must not close that handle under it.
 	for {
-		if err := l.usable(); err != nil {
+		if err := l.usableLocked(); err != nil {
 			return 0, err
 		}
 		if !l.flushing {
@@ -387,7 +389,7 @@ func (l *Log) BeginCheckpoint() (cut uint64, err error) {
 	}
 	if !l.noSync {
 		if err := l.f.Sync(); err != nil {
-			return 0, l.fail(err)
+			return 0, l.failLocked(err)
 		}
 		l.stats.Syncs++
 	}
@@ -395,11 +397,11 @@ func (l *Log) BeginCheckpoint() (cut uint64, err error) {
 	next := l.seq + 1
 	f, err := l.fs.Create(segName(next))
 	if err != nil {
-		return 0, l.fail(err)
+		return 0, l.failLocked(err)
 	}
 	if err := l.fs.SyncDir(); err != nil {
 		f.Close()
-		return 0, l.fail(err)
+		return 0, l.failLocked(err)
 	}
 	l.f.Close()
 	l.f = f
@@ -424,31 +426,31 @@ func (l *Log) FinishCheckpoint(cut uint64, state []byte) error {
 	tmp := ckptName(cut) + tmpSuffix
 	f, err := l.fs.Create(tmp)
 	if err != nil {
-		return l.failLocked(err)
+		return l.fail(err)
 	}
 	var hdr [frameHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(state)))
 	binary.LittleEndian.PutUint32(hdr[4:8], frameCRC(hdr[0:4], state))
 	if _, err := f.Write(hdr[:]); err != nil {
 		f.Close()
-		return l.failLocked(err)
+		return l.fail(err)
 	}
 	if _, err := f.Write(state); err != nil {
 		f.Close()
-		return l.failLocked(err)
+		return l.fail(err)
 	}
 	if !l.noSync {
 		if err := f.Sync(); err != nil {
 			f.Close()
-			return l.failLocked(err)
+			return l.fail(err)
 		}
 	}
 	f.Close()
 	if err := l.fs.Rename(tmp, ckptName(cut)); err != nil {
-		return l.failLocked(err)
+		return l.fail(err)
 	}
 	if err := l.fs.SyncDir(); err != nil {
-		return l.failLocked(err)
+		return l.fail(err)
 	}
 	// The new checkpoint is durable: everything it covers can go. Deletion
 	// failures are harmless (Open re-runs the sweep).
@@ -459,9 +461,11 @@ func (l *Log) FinishCheckpoint(cut uint64, state []byte) error {
 	for _, n := range names {
 		var s uint64
 		if _, err := fmt.Sscanf(n, segPrefix+"%016x"+segSuffix, &s); err == nil && strings.HasPrefix(n, segPrefix) && s < cut {
+			//lint:ignore durerr best-effort cleanup of segments behind the checkpoint; failure leaves garbage, never loses data
 			_ = l.fs.Remove(n)
 		}
 		if _, err := fmt.Sscanf(n, ckptPrefix+"%016x", &s); err == nil && strings.HasPrefix(n, ckptPrefix) && !strings.HasSuffix(n, tmpSuffix) && s < cut {
+			//lint:ignore durerr best-effort cleanup of superseded checkpoints; failure leaves garbage, never loses data
 			_ = l.fs.Remove(n)
 		}
 	}
@@ -517,8 +521,8 @@ func (l *Log) Close() error {
 	return err
 }
 
-// usable reports the sticky error state. Caller holds l.mu.
-func (l *Log) usable() error {
+// usableLocked reports the sticky error state. Caller holds l.mu.
+func (l *Log) usableLocked() error {
 	if l.closed {
 		return ErrClosed
 	}
@@ -528,8 +532,8 @@ func (l *Log) usable() error {
 	return nil
 }
 
-// fail records the first failure. Caller holds l.mu.
-func (l *Log) fail(err error) error {
+// failLocked records the first failure. Caller holds l.mu.
+func (l *Log) failLocked(err error) error {
 	if l.failed == nil {
 		l.failed = err
 	}
@@ -537,9 +541,9 @@ func (l *Log) fail(err error) error {
 	return fmt.Errorf("wal: log failed: %w", err)
 }
 
-// failLocked is fail for paths that do not hold l.mu.
-func (l *Log) failLocked(err error) error {
+// fail is failLocked for paths that do not hold l.mu: it takes the lock.
+func (l *Log) fail(err error) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.fail(err)
+	return l.failLocked(err)
 }

@@ -22,13 +22,13 @@ import (
 // rename being lost.
 type MemFS struct {
 	mu    sync.Mutex
-	files map[string]*memFile
+	files map[string]*memFile // guarded by mu
 }
 
 type memFile struct {
 	mu     sync.Mutex
-	data   []byte
-	synced int // durable prefix length
+	data   []byte // guarded by mu
+	synced int    // guarded by mu; durable prefix length
 }
 
 // NewMemFS returns an empty in-memory filesystem.
