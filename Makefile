@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test lint fmt check
+.PHONY: build test lint fmt check vet-tool
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,17 @@ build:
 test:
 	$(GO) test -count=1 ./...
 
+# vet-tool builds the analyzer binary once so repeated lint runs (and the
+# CI steps that share it) skip the go-run rebuild.
+vet-tool:
+	$(GO) build -o bin/minuet-vet ./cmd/minuet-vet
+
 # lint runs the project-specific analyzers (docs/STATIC_ANALYSIS.md) plus
 # the stock toolchain checks. staticcheck and govulncheck run in CI but are
 # optional locally: they are skipped with a note if not installed.
-lint: fmt
+lint: fmt vet-tool
 	$(GO) vet ./...
-	$(GO) run ./cmd/minuet-vet ./...
+	./bin/minuet-vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"regexp"
+	"time"
 
 	"minuet/internal/lint"
 )
@@ -22,6 +23,7 @@ import (
 func main() {
 	listFlag := flag.Bool("list", false, "list analyzers and exit")
 	runFlag := flag.String("run", "", "only run analyzers matching this regexp")
+	verbose := flag.Bool("v", false, "print per-analyzer timing to stderr")
 	flag.Parse()
 
 	analyzers := lint.Analyzers()
@@ -46,13 +48,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "minuet-vet: %v\n", err)
 		os.Exit(2)
 	}
+	// Load once; every analyzer shares the parsed and type-checked
+	// package graph (and the interprocedural ones share one call graph).
+	loadStart := time.Now()
 	pkgs, err := lint.Load(cwd, flag.Args()...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "minuet-vet: %v\n", err)
 		os.Exit(2)
 	}
+	loadTime := time.Since(loadStart)
 
-	diags := lint.Run(pkgs, analyzers, reg)
+	diags, timings := lint.RunTimed(pkgs, analyzers, reg)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "minuet-vet: load %d packages: %v\n", len(pkgs), loadTime.Round(time.Millisecond))
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "minuet-vet: %-12s %v\n", tm.Analyzer, tm.Elapsed.Round(time.Millisecond))
+		}
+	}
 	for _, d := range diags {
 		fmt.Println(d)
 	}

@@ -26,6 +26,7 @@ import (
 	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"os/exec"
@@ -40,6 +41,13 @@ func TestLockCheckFixture(t *testing.T)   { runFixture(t, LockCheck, "lockcheck"
 func TestDurErrFixture(t *testing.T)      { runFixture(t, DurErr, "durerr") }
 func TestDetCheckFixture(t *testing.T)    { runFixture(t, DetCheck, "detcheck") }
 func TestDecodeBoundFixture(t *testing.T) { runFixture(t, DecodeBound, "decodebound") }
+
+// The interprocedural analyzers get multi-package fixtures: subdirectories
+// of the fixture root are sibling packages (import path "<name>/<sub>"), so
+// the seeded bugs can span package boundaries the way the real ones do.
+func TestLockOrderFixture(t *testing.T) { runProgramFixture(t, LockOrder, "lockorder") }
+func TestWireSymFixture(t *testing.T)   { runProgramFixture(t, WireSym, "wiresym") }
+func TestLeakCheckFixture(t *testing.T) { runProgramFixture(t, LeakCheck, "leakcheck") }
 
 func runFixture(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
@@ -83,7 +91,118 @@ func runFixture(t *testing.T, a *Analyzer, name string) {
 	got := Run(
 		[]*Package{{Path: name, Fset: fset, Files: files, Types: pkg, Info: info}},
 		[]*Analyzer{a}, nil)
+	checkWants(t, fset, files, got, name)
+}
 
+// runProgramFixture runs one interprocedural analyzer over a fixture tree:
+// .go files directly under testdata/src/<name> form package <name>, and each
+// subdirectory <sub> forms package <name>/<sub>. Fixture packages may import
+// each other (type-checking retries until an order works, so the directory
+// listing need not be dependency-sorted) and real module packages.
+func runProgramFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	if a.Scope != nil && !a.Scope(name) {
+		t.Fatalf("analyzer %s's Scope rejects package %q: the fixture would silently test nothing", a.Name, name)
+	}
+	root := filepath.Join("testdata", "src", name)
+	fset := token.NewFileSet()
+
+	type fixPkg struct {
+		path  string
+		files []*ast.File
+	}
+	parseDir := func(dir, path string) (*fixPkg, error) {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		fp := &fixPkg{path: path}
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			fp.files = append(fp.files, f)
+		}
+		return fp, nil
+	}
+
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var pending []*fixPkg
+	top, err := parseDir(root, name)
+	if err != nil {
+		t.Fatalf("parsing fixture: %v", err)
+	}
+	if len(top.files) > 0 {
+		pending = append(pending, top)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		sub, err := parseDir(filepath.Join(root, e.Name()), name+"/"+e.Name())
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		if len(sub.files) > 0 {
+			pending = append(pending, sub)
+		}
+	}
+	if len(pending) == 0 {
+		t.Fatalf("fixture %s has no .go files", name)
+	}
+
+	exports := fixtureExports(t)
+	imp := &sourceFirstImporter{
+		source: make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
+	var pkgs []*Package
+	for len(pending) > 0 {
+		progress := false
+		var failErr error
+		var next []*fixPkg
+		for _, fp := range pending {
+			pkg, info, err := TypeCheck(fset, fp.path, fp.files, imp)
+			if err != nil {
+				failErr = err
+				next = append(next, fp)
+				continue
+			}
+			imp.source[fp.path] = pkg
+			pkgs = append(pkgs, &Package{Path: fp.path, Fset: fset, Files: fp.files, Types: pkg, Info: info})
+			progress = true
+		}
+		if !progress {
+			t.Fatalf("type-checking fixture: %v", failErr)
+		}
+		pending = next
+	}
+
+	got := Run(pkgs, []*Analyzer{a}, nil)
+	var allFiles []*ast.File
+	for _, p := range pkgs {
+		allFiles = append(allFiles, p.Files...)
+	}
+	checkWants(t, fset, allFiles, got, name)
+}
+
+// checkWants matches reported diagnostics against the fixture's want
+// comments; both an unclaimed diagnostic and an unmatched want fail.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, got []Diagnostic, name string) {
+	t.Helper()
 	wants, nWants := collectWants(t, fset, files)
 	if nWants == 0 {
 		t.Fatalf("fixture %s has no want comments: it would pass vacuously", name)

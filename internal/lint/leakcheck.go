@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LeakCheck requires every go statement in the server-side packages to be
+// tied to a shutdown path. A goroutine counts as anchored when any of the
+// following holds, checked in its body and (depth-bounded) in the functions
+// the body directly calls:
+//
+//   - it signals a sync.WaitGroup (a .Done() call) someone can Wait on;
+//   - it receives from a channel (<-ch, for range ch) or runs a select —
+//     a signal can reach it;
+//   - it closes a channel — completion is observable;
+//   - a channel is passed to it at the spawn site (the conventional stop
+//     channel).
+//
+// Anything else is a goroutine nothing can stop or wait for — the kind
+// that leaks across Close and bites under -race in a later PR. A goroutine
+// whose lifecycle really is managed some other way (for example a read
+// loop whose shutdown signal is its socket being closed) gets a
+// //lint:ignore leakcheck with the reason spelled out.
+//
+// The transitive walk resolves direct calls through the program call graph
+// (depth 3, enough for the spawn-helper-worker layering used here);
+// function-value and unresolvable calls contribute nothing, so an anchor
+// hidden behind one must be ignored explicitly. _test.go files are exempt.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc: "every go statement in the server packages (rpcnet, cluster, sinfonia, " +
+		"wal, prochost) must have a shutdown path: WaitGroup, channel signal, or close",
+	Scope:      leakCheckScope,
+	RunProgram: runLeakCheck,
+}
+
+var leakCheckPkgs = map[string]bool{
+	"minuet/internal/rpcnet":   true,
+	"minuet/internal/cluster":  true,
+	"minuet/internal/sinfonia": true,
+	"minuet/internal/wal":      true,
+	"minuet/internal/prochost": true,
+}
+
+func leakCheckScope(path string) bool {
+	return leakCheckPkgs[path] || path == "leakcheck" || strings.HasPrefix(path, "leakcheck/")
+}
+
+const leakWalkDepth = 3
+
+func runLeakCheck(pass *ProgramPass) {
+	for _, pkg := range pass.Prog.Pkgs {
+		if !leakCheckScope(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if pass.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goAnchored(pass.Prog, pkg, g) {
+					pass.Reportf(g.Pos(),
+						"goroutine has no shutdown path (no WaitGroup Done, channel receive/select, close, or channel argument); anchor it or lint:ignore leakcheck with a reason")
+				}
+				return true
+			})
+		}
+	}
+}
+
+func goAnchored(prog *Program, pkg *Package, g *ast.GoStmt) bool {
+	// A channel handed over at the spawn site is a shutdown signal.
+	for _, a := range g.Call.Args {
+		if tv, ok := pkg.Info.Types[a]; ok && isChanType(tv.Type) {
+			return true
+		}
+	}
+	seen := make(map[*FuncInfo]bool)
+	if lit, ok := unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyAnchored(prog, pkg, lit.Body, leakWalkDepth, seen)
+	}
+	for _, fi := range prog.ResolveCall(pkg, g.Call) {
+		if bodyAnchored(prog, fi.Pkg, fi.Decl.Body, leakWalkDepth, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// bodyAnchored scans one body for an anchor, then recurses into the
+// functions it directly calls.
+func bodyAnchored(prog *Program, pkg *Package, body *ast.BlockStmt, depth int, seen map[*FuncInfo]bool) bool {
+	anchored := false
+	var calls []*ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if anchored {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			anchored = true
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				anchored = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pkg.Info.Types[n.X]; ok && isChanType(tv.Type) {
+				anchored = true
+			}
+		case *ast.CallExpr:
+			if isBuiltinClose(pkg, n) || isWaitGroupDone(pkg, n) {
+				anchored = true
+				return false
+			}
+			calls = append(calls, n)
+		}
+		return true
+	})
+	if anchored {
+		return true
+	}
+	if depth == 0 {
+		return false
+	}
+	for _, call := range calls {
+		for _, fi := range prog.ResolveCall(pkg, call) {
+			if seen[fi] {
+				continue
+			}
+			seen[fi] = true
+			if bodyAnchored(prog, fi.Pkg, fi.Decl.Body, depth-1, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isBuiltinClose(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "close" {
+		return false
+	}
+	_, isBuiltin := pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isWaitGroupDone(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pkg.Info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return ok && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "sync" && n.Obj().Name() == "WaitGroup"
+}

@@ -14,6 +14,18 @@
 //     WAL-decoded integers must be bounded against remaining input first
 //     (the dec.count pattern from PR 4).
 //
+// On top of the per-package checks sits an interprocedural layer
+// (callgraph.go, summaries.go): a whole-program type-resolved call graph
+// with conservative interface devirtualization, and per-function lock
+// summaries. Three analyzers consume it:
+//
+//   - lockorder: cycles in the global mutex acquisition-order graph across
+//     call chains are potential deadlocks.
+//   - wiresym: encode functions and their decode counterparts must write
+//     and read the same field sequence.
+//   - leakcheck: every go statement in the server packages needs a
+//     shutdown path (WaitGroup, channel signal, or close).
+//
 // The framework mirrors golang.org/x/tools/go/analysis closely enough that
 // the analyzers could be ported to real *analysis.Analyzer values if the
 // dependency ever becomes available; it is built on the standard library
@@ -37,6 +49,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Analyzer is one static check. The shape deliberately mirrors
@@ -51,7 +64,15 @@ type Analyzer struct {
 	// returns true (by import path). A nil Scope means every package.
 	Scope func(pkgPath string) bool
 	// Run inspects one package and reports findings through the pass.
+	// Exactly one of Run and RunProgram is set.
 	Run func(*Pass)
+	// RunProgram, when set, marks an interprocedural analyzer: it is
+	// invoked once per run with the whole-program call graph (shared and
+	// built lazily across all such analyzers) instead of once per package.
+	// Scope is not applied by the driver — the analyzer filters the
+	// program's packages itself, since its whole point is to see across
+	// them.
+	RunProgram func(*ProgramPass)
 }
 
 // Pass carries one package's parsed and type-checked state to an analyzer.
@@ -82,6 +103,29 @@ func (p *Pass) IsTestFile(pos token.Pos) bool {
 	return strings.HasSuffix(p.Fset.Position(pos).Filename, "_test.go")
 }
 
+// ProgramPass carries the whole-program state to an interprocedural
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Prog.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether pos lies in a _test.go file.
+func (p *ProgramPass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Prog.Fset.Position(pos).Filename, "_test.go")
+}
+
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Pos      token.Position
@@ -95,32 +139,58 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{LockCheck, DurErr, DetCheck, DecodeBound}
+	return []*Analyzer{LockCheck, DurErr, DetCheck, DecodeBound, LockOrder, WireSym, LeakCheck}
+}
+
+// Timing is one analyzer's wall-clock cost in a run.
+type Timing struct {
+	Analyzer string
+	Elapsed  time.Duration
 }
 
 // Run applies every analyzer (filtered by reg, which may be nil) to every
 // package and returns the surviving diagnostics, sorted by position.
 // //lint:ignore directives have already been applied.
 func Run(pkgs []*Package, analyzers []*Analyzer, reg *regexp.Regexp) []Diagnostic {
+	diags, _ := RunTimed(pkgs, analyzers, reg)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer timings (for minuet-vet -v). The
+// packages are loaded once by the caller and shared by every analyzer;
+// interprocedural analyzers additionally share one lazily-built Program.
+func RunTimed(pkgs []*Package, analyzers []*Analyzer, reg *regexp.Regexp) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			if reg != nil && !reg.MatchString(a.Name) {
-				continue
-			}
-			if a.Scope != nil && !a.Scope(pkg.Path) {
-				continue
-			}
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				Info:     pkg.Info,
-				diags:    &diags,
-			}
-			a.Run(pass)
+	var timings []Timing
+	var prog *Program
+	for _, a := range analyzers {
+		if reg != nil && !reg.MatchString(a.Name) {
+			continue
 		}
+		start := time.Now()
+		if a.RunProgram != nil {
+			if prog == nil {
+				prog = BuildProgram(pkgs)
+			}
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &diags})
+		} else {
+			for _, pkg := range pkgs {
+				if a.Scope != nil && !a.Scope(pkg.Path) {
+					continue
+				}
+				a.Run(&Pass{
+					Analyzer: a,
+					Fset:     pkg.Fset,
+					Files:    pkg.Files,
+					Pkg:      pkg.Types,
+					Info:     pkg.Info,
+					diags:    &diags,
+				})
+			}
+		}
+		timings = append(timings, Timing{Analyzer: a.Name, Elapsed: time.Since(start)})
+	}
+	for _, pkg := range pkgs {
 		diags = ApplyIgnores(pkg.Fset, pkg.Files, diags)
 	}
 	sort.Slice(diags, func(i, j int) bool {
@@ -136,7 +206,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer, reg *regexp.Regexp) []Diagnosti
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags
+	return diags, timings
 }
 
 // ignoreRe matches "lint:ignore <analyzer> <reason>" after the comment

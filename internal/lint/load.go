@@ -23,6 +23,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+	// Plain is the package's test-free twin — the version other packages
+	// import — when Types was checked with _test.go files included; nil
+	// when the package has no in-package test files. The call graph uses
+	// it to map both universes' objects onto one function.
+	Plain *types.Package
 }
 
 // listPkg is the subset of `go list -json` output the loader needs.
@@ -94,32 +99,91 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		}
 	}
 
+	// Type-checking runs in two passes that mirror how the go tool itself
+	// compiles tests. Pass one checks every target WITHOUT its _test.go
+	// files, in go list's dependency order, and registers the result with
+	// the shared importer — so every import of a target resolves to the
+	// same source-checked *types.Package and a *types.Func is
+	// pointer-identical whether seen from its declaring package or through
+	// an import. That object identity is what lets the interprocedural
+	// analyzers resolve cross-package calls.
+	//
+	// Test files cannot join pass one: `go list -deps` orders by the
+	// non-test import graph, so a package whose _test.go files import a
+	// later target (the root package's benchmarks import rpcnet) would mix
+	// source-checked and export-data universes and fail to type-check.
+	// Pass two re-checks each test-having package with its _test.go files
+	// added, against the completed pass-one universe — the analogue of the
+	// "p [p.test]" variant go test builds. The test-free twin is kept on
+	// Package.Plain so the call graph can unify the two universes' objects.
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		f, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q", path)
-		}
-		return os.Open(f)
-	})
+	imp := &sourceFirstImporter{
+		source: make(map[string]*types.Package),
+		fallback: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+			f, ok := exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(f)
+		}),
+	}
 
-	var pkgs []*Package
-	for _, t := range targets {
-		files := make([]*ast.File, 0, len(t.GoFiles)+len(t.TestGoFiles))
-		for _, name := range append(append([]string{}, t.GoFiles...), t.TestGoFiles...) {
+	parse := func(t *listPkg, names []string) ([]*ast.File, error) {
+		files := make([]*ast.File, 0, len(names))
+		for _, name := range names {
 			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("parsing %s: %v", name, err)
 			}
 			files = append(files, f)
 		}
+		return files, nil
+	}
+
+	var pkgs []*Package
+	for _, t := range targets {
+		files, err := parse(t, t.GoFiles)
+		if err != nil {
+			return nil, err
+		}
 		pkg, info, err := TypeCheck(fset, t.ImportPath, files, imp)
 		if err != nil {
 			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
 		}
+		imp.source[t.ImportPath] = pkg
 		pkgs = append(pkgs, &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info})
 	}
+	for i, t := range targets {
+		if len(t.TestGoFiles) == 0 {
+			continue
+		}
+		testFiles, err := parse(t, t.TestGoFiles)
+		if err != nil {
+			return nil, err
+		}
+		files := append(append([]*ast.File{}, pkgs[i].Files...), testFiles...)
+		pkg, info, err := TypeCheck(fset, t.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s (with tests): %v", t.ImportPath, err)
+		}
+		pkgs[i] = &Package{Path: t.ImportPath, Fset: fset, Files: files, Types: pkg, Info: info, Plain: pkgs[i].Types}
+	}
 	return pkgs, nil
+}
+
+// sourceFirstImporter resolves imports from source-checked packages when
+// available and falls back to gc export data otherwise. The fixture
+// harness uses it too, for multi-package fixtures.
+type sourceFirstImporter struct {
+	source   map[string]*types.Package
+	fallback types.Importer
+}
+
+func (si *sourceFirstImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.source[path]; ok {
+		return p, nil
+	}
+	return si.fallback.Import(path)
 }
 
 // TypeCheck type-checks one package's files with the given importer and

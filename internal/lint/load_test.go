@@ -1,0 +1,112 @@
+package lint
+
+// Load's failure paths: a broken target module must produce a clean,
+// pointed error — never a panic, and never a silent empty result —
+// because minuet-vet turns these into exit-status-2 diagnostics.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module in a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestLoadSyntaxError(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":    "module brokenmod\n\ngo 1.22\n",
+		"broken.go": "package brokenmod\n\nfunc f( {\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatalf("Load succeeded on a module with a syntax error (%d packages)", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "broken.go") {
+		t.Errorf("error does not name the broken file: %v", err)
+	}
+}
+
+func TestLoadMissingImport(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":    "module brokenmod\n\ngo 1.22\n",
+		"orphan.go": "package brokenmod\n\nimport \"no/such/dependency\"\n\nvar _ = dependency.Missing\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatalf("Load succeeded despite an unresolvable import (%d packages)", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "no/such/dependency") {
+		t.Errorf("error does not name the missing import: %v", err)
+	}
+}
+
+func TestLoadRejectsExternalTests(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":      "module xtestmod\n\ngo 1.22\n",
+		"a.go":        "package xtestmod\n\nfunc A() int { return 1 }\n",
+		"a_x_test.go": "package xtestmod_test\n\nimport \"testing\"\n\nfunc TestA(t *testing.T) {}\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatalf("Load accepted a package with external test files (%d packages)", len(pkgs))
+	}
+	if !strings.Contains(err.Error(), "external test files") {
+		t.Errorf("unexpected error for external test files: %v", err)
+	}
+}
+
+// TestLoadTestOnlyImportOrder pins the two-pass loader contract. go list
+// -deps orders targets by the NON-test import graph, so zz — imported only
+// from the root package's _test.go file — is emitted after the root. A
+// single-pass loader would resolve zz from export data while checking the
+// root's tests, and zz-from-export's view of aa.ID would be a different
+// object universe than the source-checked aa the test file uses: a type
+// error. (This is the shape of the real repo's benchmarks importing
+// rpcnet.) The second pass must make this load cleanly, with the root's
+// test-free twin kept on Package.Plain.
+func TestLoadTestOnlyImportOrder(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod":  "module ordermod\n\ngo 1.22\n",
+		"root.go": "package ordermod\n\nimport \"ordermod/aa\"\n\nvar Zero aa.ID\n",
+		"root_test.go": "package ordermod\n\nimport (\n\t\"testing\"\n\n\t\"ordermod/aa\"\n\t\"ordermod/zz\"\n)\n\n" +
+			"func TestUse(t *testing.T) {\n\tzz.Use(map[aa.ID]string{aa.ID(1): \"x\"})\n}\n",
+	})
+	sub := func(name, content string) {
+		t.Helper()
+		if err := os.Mkdir(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name, name+".go"), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sub("aa", "package aa\n\ntype ID int\n")
+	sub("zz", "package zz\n\nimport \"ordermod/aa\"\n\nfunc Use(m map[aa.ID]string) {}\n")
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var root *Package
+	for _, p := range pkgs {
+		if p.Path == "ordermod" {
+			root = p
+		}
+	}
+	if root == nil {
+		t.Fatalf("root package not loaded (got %d packages)", len(pkgs))
+	}
+	if root.Plain == nil {
+		t.Errorf("root package has test files but no Plain twin")
+	}
+}

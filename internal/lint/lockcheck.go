@@ -17,6 +17,11 @@ import (
 //     <x>.<name>.Lock() or <x>.<name>.RLock() anywhere in the body — or
 //   - is named *Locked, declaring that its caller holds the lock.
 //
+// sync.RWMutex is understood: RLock licenses reads of the guarded fields,
+// but a write (assignment, ++/--, delete) in a function that only ever
+// RLocks is a finding — shared read locks do not exclude each other, so
+// such a write races with every concurrent reader.
+//
 // The check is intentionally name-based and intraprocedural: it cannot see
 // that a helper is only called with the lock held (name it *Locked), cannot
 // distinguish two instances of the same struct, and treats a closure as
@@ -86,11 +91,21 @@ func runLockCheck(pass *Pass) {
 	}
 }
 
-// heldMutexes returns the set of mutex field names for which body contains
-// a <x>.<name>.Lock() or <x>.<name>.RLock() call (including deferred and
-// closure-scoped ones — the check is order-insensitive by design).
-func heldMutexes(body *ast.BlockStmt) map[string]bool {
-	held := make(map[string]bool)
+// lockMode records how a mutex is held somewhere in a body: via RLock
+// (read) and/or via Lock (write). Lock implies read access too.
+type lockMode uint8
+
+const (
+	lockRead  lockMode = 1 << iota // RLock somewhere in the body
+	lockWrite                      // Lock somewhere in the body
+)
+
+// heldMutexes returns, for each mutex field name, the strongest mode in
+// which body acquires it — a <x>.<name>.Lock() or <x>.<name>.RLock() call
+// anywhere, including deferred and closure-scoped ones (the check is
+// order-insensitive by design).
+func heldMutexes(body *ast.BlockStmt) map[string]lockMode {
+	held := make(map[string]lockMode)
 	ast.Inspect(body, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {
@@ -100,18 +115,64 @@ func heldMutexes(body *ast.BlockStmt) map[string]bool {
 		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
 			return true
 		}
+		mode := lockRead
+		if sel.Sel.Name == "Lock" {
+			mode |= lockWrite
+		}
 		switch x := sel.X.(type) {
 		case *ast.SelectorExpr: // m.mu.Lock()
-			held[x.Sel.Name] = true
+			held[x.Sel.Name] |= mode
 		case *ast.Ident: // mu.Lock() on a local or package-level mutex
-			held[x.Name] = true
+			held[x.Name] |= mode
 		}
 		return true
 	})
 	return held
 }
 
-func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object]string, held map[string]bool) {
+// writtenIdents collects the identifiers body writes through: assignment
+// left-hand sides (through indexing/dereferencing), ++/-- operands, and the
+// first argument of delete.
+func writtenIdents(body *ast.BlockStmt) map[*ast.Ident]bool {
+	written := make(map[*ast.Ident]bool)
+	mark := func(e ast.Expr) {
+		for {
+			switch v := e.(type) {
+			case *ast.ParenExpr:
+				e = v.X
+			case *ast.IndexExpr:
+				e = v.X
+			case *ast.StarExpr:
+				e = v.X
+			default:
+				if sel, ok := e.(*ast.SelectorExpr); ok {
+					written[sel.Sel] = true
+				} else if id, ok := e.(*ast.Ident); ok {
+					written[id] = true
+				}
+				return
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return written
+}
+
+func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object]string, held map[string]lockMode) {
 	// Composite-literal keys resolve to field objects in Info.Uses but are
 	// construction, not shared-state access; collect them so the walk below
 	// can skip them.
@@ -130,6 +191,7 @@ func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object
 		}
 		return true
 	})
+	written := writtenIdents(fn.Body)
 	ast.Inspect(fn.Body, func(n ast.Node) bool {
 		id, ok := n.(*ast.Ident)
 		if !ok || litKeys[id] {
@@ -140,11 +202,19 @@ func checkGuardedAccesses(pass *Pass, fn *ast.FuncDecl, guarded map[types.Object
 			return true
 		}
 		mu, ok := guarded[obj]
-		if !ok || held[mu] {
+		if !ok {
 			return true
 		}
-		pass.Reportf(id.Pos(), "field %q (guarded by %s) accessed in %s without holding %s (lock it, rename the function *Locked, or lint:ignore with a reason)",
-			id.Name, mu, fn.Name.Name, mu)
+		mode := held[mu]
+		if mode == 0 {
+			pass.Reportf(id.Pos(), "field %q (guarded by %s) accessed in %s without holding %s (lock it, rename the function *Locked, or lint:ignore with a reason)",
+				id.Name, mu, fn.Name.Name, mu)
+			return true
+		}
+		if written[id] && mode&lockWrite == 0 {
+			pass.Reportf(id.Pos(), "field %q (guarded by %s) written in %s while %s is only read-locked (RLock); writes need the full Lock",
+				id.Name, mu, fn.Name.Name, mu)
+		}
 		return true
 	})
 }

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the global mutex acquisition-order graph across call
+// chains and reports every cycle as a potential deadlock.
+//
+// An edge A -> B means "somewhere, B is (or may be, through calls) acquired
+// while A is held". Direct edges come from a Lock with another class in the
+// held set; transitive edges come from a call made with locks held, into a
+// function whose summary says it may acquire more locks while the caller's
+// are still in force (see summaries.go — the CALLER-marker rule is what
+// keeps the drop-and-relock idiom out of the graph). Interface calls are
+// devirtualized to every loaded implementation, which is exactly how a
+// memnode holding its mutex while calling a Transport can reach a handler
+// that locks the memnode back.
+//
+// A cycle (including a self-edge: re-acquiring a held class) means two
+// goroutines can block each other; each strongly connected component is
+// reported once, at a witness acquisition site inside the cycle, so one
+// //lint:ignore on that line suppresses the whole component.
+//
+// Precision limits: classes are per-type, not per-instance (hand-over-hand
+// locking of two values of one type reports a self-cycle — none exists in
+// this tree), function-value calls contribute no edges, and
+// sync.Cond.Wait's internal unlock is invisible (harmless: stdlib calls
+// produce no edges). _test.go functions are exempt.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "no cycles in the global mutex acquisition-order graph " +
+		"(lock-order deadlocks across call chains, interface calls devirtualized)",
+	RunProgram: runLockOrder,
+}
+
+func runLockOrder(pass *ProgramPass) {
+	sums := lockSummaries(pass.Prog)
+
+	// Fixed point: ta[f] = classes f may acquire while its caller's locks
+	// still apply. Seeded from direct acquires, closed over call sites made
+	// with the CALLER marker intact.
+	ta := make(map[*FuncInfo]map[string]bool, len(sums))
+	for _, s := range sums {
+		set := make(map[string]bool)
+		for _, aq := range s.acquires {
+			if aq.callerHeld {
+				set[aq.class] = true
+			}
+		}
+		ta[s.fn] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range sums {
+			set := ta[s.fn]
+			for _, cf := range s.calls {
+				if !cf.callerHeld {
+					continue
+				}
+				for _, callee := range cf.callees {
+					for c := range ta[callee] {
+						if !set[c] {
+							set[c] = true
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Edge generation. First writer wins on position; summaries come in
+	// deterministic FuncList order, so the witness is stable.
+	type edge struct{ from, to string }
+	edgePos := make(map[edge]token.Pos)
+	addEdge := func(from, to string, pos token.Pos) {
+		e := edge{from, to}
+		if _, ok := edgePos[e]; !ok {
+			edgePos[e] = pos
+		}
+	}
+	for _, s := range sums {
+		for _, aq := range s.acquires {
+			for _, h := range aq.held {
+				addEdge(h, aq.class, aq.pos)
+			}
+		}
+		for _, cf := range s.calls {
+			if len(cf.held) == 0 {
+				continue
+			}
+			for _, callee := range cf.callees {
+				for to := range ta[callee] {
+					for _, h := range cf.held {
+						addEdge(h, to, cf.pos)
+					}
+				}
+			}
+		}
+	}
+
+	// Strongly connected components over the class digraph.
+	succ := make(map[string][]string)
+	nodes := make(map[string]bool)
+	for e := range edgePos {
+		succ[e.from] = append(succ[e.from], e.to)
+		nodes[e.from], nodes[e.to] = true, true
+	}
+	var order []string
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+	for _, n := range order {
+		sort.Strings(succ[n])
+	}
+	for _, scc := range tarjanSCC(order, succ) {
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		var cyclic []edge
+		for e := range edgePos {
+			if inSCC[e.from] && inSCC[e.to] {
+				cyclic = append(cyclic, e)
+			}
+		}
+		if len(scc) == 1 && len(cyclic) == 0 {
+			continue // trivial component, no self-edge
+		}
+		sort.Slice(cyclic, func(i, j int) bool {
+			if cyclic[i].from != cyclic[j].from {
+				return cyclic[i].from < cyclic[j].from
+			}
+			return cyclic[i].to < cyclic[j].to
+		})
+		witness := cyclic[0]
+		sort.Strings(scc)
+		pass.Reportf(edgePos[witness],
+			"potential deadlock: lock-order cycle among %s; this site acquires %s while %s is held (break the cycle or lint:ignore lockorder with a reason)",
+			strings.Join(scc, ", "), witness.to, witness.from)
+	}
+}
+
+// tarjanSCC returns the strongly connected components of the digraph,
+// deterministically (nodes visited in the given order).
+func tarjanSCC(nodes []string, succ map[string][]string) [][]string {
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool)
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return sccs
+}

@@ -1,0 +1,333 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Per-function lock summaries: which mutexes a function acquires, which it
+// still holds at each call site, and whether any of that happens while the
+// CALLER's locks are still in force. lockorder consumes these to build the
+// global acquisition-order graph.
+//
+// Mutexes are bucketed into classes, not instances:
+//
+//	pkgpath.Type.field   a sync.Mutex/RWMutex struct field (m.mu.Lock())
+//	pkgpath.var          a package-level mutex (reglock.Lock())
+//
+// Locals and mutex-typed parameters have no class and are ignored — they
+// cannot participate in a global ordering. RLock counts as acquiring the
+// same class as Lock: a read lock still deadlocks against a writer waiting
+// in a cycle.
+//
+// The walk is syntactic with one flow refinement, the CALLER marker. Each
+// body is walked with a virtual token in the held set representing
+// "whatever locks my caller holds". A balanced Unlock removes its own
+// class; an *unbalanced* Unlock (class not in the local held set) must be
+// releasing a caller's lock, so it removes the CALLER token instead. An
+// acquisition only propagates to callers while the token survives — which
+// is exactly what distinguishes the relock idiom
+//
+//	func (m *M) waitUnlocked() { m.mu.Unlock(); ...; m.mu.Lock() }
+//
+// (no caller-visible acquisition; the caller's lock was dropped first) from
+// a genuine nested acquisition that deadlocks.
+//
+// Branches (if/for/switch/select bodies) are walked with a copy of the held
+// set and the main path continues with the original: the summary is a union
+// over paths, so an early-return unlock branch neither hides nor leaks
+// state. defer mu.Unlock() keeps the lock held to the end of the body, and
+// a go statement's body starts with an empty held set (the spawned
+// goroutine does not inherit the spawner's locks).
+
+// callerMarker is the virtual held-set entry standing for the caller's
+// locks. The NUL byte keeps it out of the real class namespace.
+const callerMarker = "\x00caller"
+
+// acquireFact records one Lock/RLock call: the class it takes, the real
+// classes held at that point, and whether the caller's locks still apply.
+type acquireFact struct {
+	class      string
+	held       []string
+	callerHeld bool
+	pos        token.Pos
+}
+
+// callFact records one resolved call site with the locks held around it.
+type callFact struct {
+	callees    []*FuncInfo
+	held       []string
+	callerHeld bool
+	pos        token.Pos
+}
+
+// lockFacts is one function's summary.
+type lockFacts struct {
+	fn       *FuncInfo
+	acquires []acquireFact
+	calls    []callFact
+}
+
+// lockSummaries computes facts for every non-test function in the program,
+// in FuncList order.
+func lockSummaries(prog *Program) []*lockFacts {
+	var out []*lockFacts
+	for _, fi := range prog.FuncList {
+		if fi.TestFile {
+			continue
+		}
+		w := &lockWalker{prog: prog, pkg: fi.Pkg, facts: &lockFacts{fn: fi}}
+		held := map[string]bool{callerMarker: true}
+		w.stmts(fi.Decl.Body.List, held)
+		out = append(out, w.facts)
+	}
+	return out
+}
+
+type lockWalker struct {
+	prog  *Program
+	pkg   *Package
+	facts *lockFacts
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func realHeld(held map[string]bool) []string {
+	var out []string
+	for k := range held {
+		if k != callerMarker {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func (w *lockWalker) stmts(list []ast.Stmt, held map[string]bool) {
+	for _, s := range list {
+		w.stmt(s, held)
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.expr(s.Cond, held)
+		w.stmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.stmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.expr(s.Cond, held)
+		}
+		body := copyHeld(held)
+		w.stmts(s.Body.List, body)
+		if s.Post != nil {
+			w.stmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.expr(s.X, held)
+		w.stmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.expr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.expr(e, held)
+			}
+			w.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init, held)
+		}
+		w.stmt(s.Assign, held)
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CaseClause)
+			w.stmts(cc.Body, copyHeld(held))
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := copyHeld(held)
+			if cc.Comm != nil {
+				w.stmt(cc.Comm, branch)
+			}
+			w.stmts(cc.Body, branch)
+		}
+	case *ast.GoStmt:
+		// Arguments are evaluated on the spawner's goroutine; the body runs
+		// with no locks inherited.
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			w.stmts(lit.Body.List, make(map[string]bool))
+		}
+	case *ast.DeferStmt:
+		if class, op, ok := w.lockOp(s.Call); ok {
+			// defer mu.Unlock() holds the lock to the end of the body: no
+			// state change. A deferred Lock would be bizarre; ignore it too.
+			_ = class
+			_ = op
+			return
+		}
+		for _, a := range s.Call.Args {
+			w.expr(a, held)
+		}
+		w.handleCall(s.Call, held)
+	default:
+		w.expr(s, held)
+	}
+}
+
+// expr scans a statement or expression for calls and closures, in syntactic
+// order. Closures in expression position are assumed to run under the
+// current held set (matching lockcheck's model of closures).
+func (w *lockWalker) expr(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.FuncLit:
+			w.stmts(x.Body.List, copyHeld(held))
+			return false
+		case *ast.CallExpr:
+			w.handleCall(x, held)
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) handleCall(call *ast.CallExpr, held map[string]bool) {
+	if class, acquire, ok := w.lockOp(call); ok {
+		if class == "" {
+			return // local or parameter mutex: no global class
+		}
+		if acquire {
+			w.facts.acquires = append(w.facts.acquires, acquireFact{
+				class:      class,
+				held:       realHeld(held),
+				callerHeld: held[callerMarker],
+				pos:        call.Pos(),
+			})
+			held[class] = true
+		} else if held[class] {
+			delete(held, class)
+		} else {
+			// Unbalanced release: this function is dropping a lock its
+			// caller acquired, so the caller's locks no longer apply.
+			delete(held, callerMarker)
+		}
+		return
+	}
+	callees := w.prog.ResolveCall(w.pkg, call)
+	if len(callees) == 0 {
+		return
+	}
+	w.facts.calls = append(w.facts.calls, callFact{
+		callees:    callees,
+		held:       realHeld(held),
+		callerHeld: held[callerMarker],
+		pos:        call.Pos(),
+	})
+}
+
+// lockOp reports whether call is a Lock/RLock (acquire=true) or
+// Unlock/RUnlock (acquire=false) on a sync.Mutex or sync.RWMutex, and the
+// mutex's class ("" when it has none).
+func (w *lockWalker) lockOp(call *ast.CallExpr) (class string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false, false
+	}
+	tv, found := w.pkg.Info.Types[sel.X]
+	if !found || !isSyncMutex(tv.Type) {
+		return "", false, false
+	}
+	return w.lockClass(sel.X), acquire, true
+}
+
+func isSyncMutex(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// lockClass names the mutex expression's global class, or "" for locals.
+func (w *lockWalker) lockClass(x ast.Expr) string {
+	switch x := unparen(x).(type) {
+	case *ast.SelectorExpr:
+		// recv.mu: class by the receiver's named type.
+		if tv, ok := w.pkg.Info.Types[x.X]; ok {
+			t := tv.Type
+			for {
+				p, ok := t.(*types.Pointer)
+				if !ok {
+					break
+				}
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil {
+				return n.Obj().Pkg().Path() + "." + n.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		// Package-qualified package-level mutex: pkg.mu.Lock().
+		if obj, ok := w.pkg.Info.Uses[x.Sel].(*types.Var); ok && packageLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	case *ast.Ident:
+		if obj, ok := w.pkg.Info.Uses[x].(*types.Var); ok && packageLevel(obj) {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+		return ""
+	}
+	return ""
+}
+
+func packageLevel(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

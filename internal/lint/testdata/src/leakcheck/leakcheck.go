@@ -1,0 +1,98 @@
+// Package leakcheck seeds unanchored goroutines among every flavor of
+// anchored one the analyzer recognizes.
+package leakcheck
+
+import (
+	"sync"
+
+	"leakcheck/worker"
+)
+
+// Serve spawns a goroutine nothing can stop or wait for.
+func Serve() {
+	go orphan() // want `goroutine has no shutdown path`
+}
+
+func orphan() {
+	for {
+		work()
+	}
+}
+
+func work() {}
+
+// Spin's closure is equally unanchored.
+func Spin() {
+	go func() { // want `goroutine has no shutdown path`
+		for {
+			work()
+		}
+	}()
+}
+
+// Tracked signals a WaitGroup someone can Wait on.
+func Tracked(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// Signaled hands the goroutine a stop channel at the spawn site.
+func Signaled(stop chan struct{}) {
+	go pump(stop)
+}
+
+func pump(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// loop.run is anchored by its select, found through the call graph.
+type loop struct {
+	stop chan struct{}
+}
+
+func (l *loop) Start() {
+	go l.run()
+}
+
+func (l *loop) run() {
+	for {
+		select {
+		case <-l.stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+// StartNested finds the channel receive two calls deep.
+func (l *loop) StartNested() {
+	go l.outer()
+}
+
+func (l *loop) outer() { l.middle() }
+
+func (l *loop) middle() { <-l.stop }
+
+// StartWorker's anchor lives across a package boundary.
+func StartWorker(w *worker.W) {
+	go w.Outer()
+}
+
+// WaitThen closes a channel when done: completion is observable.
+func WaitThen(done chan struct{}) {
+	go func() {
+		work()
+		close(done)
+	}()
+}

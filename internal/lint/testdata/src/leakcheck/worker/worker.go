@@ -1,0 +1,12 @@
+// Package worker holds the cross-package anchor for the leakcheck fixture:
+// the goroutine spawned in the parent package reaches the channel receive
+// here only through the program call graph.
+package worker
+
+type W struct {
+	stop chan struct{}
+}
+
+func (w *W) Outer() { w.wait() }
+
+func (w *W) wait() { <-w.stop }

@@ -1,0 +1,38 @@
+// RWMutex handling: RLock licenses reads of guarded fields, but a write in
+// a function that only ever read-locks is a finding.
+package lockcheck
+
+import "sync"
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+// Lookup reads under RLock: fine.
+func (t *table) Lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// Bump writes while only read-locked.
+func (t *table) Bump(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.m[k]++ // want `written in Bump while mu is only read-locked`
+}
+
+// Store takes the full lock: fine.
+func (t *table) Store(k string, v int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[k] = v
+}
+
+// Drop deletes while only read-locked.
+func (t *table) Drop(k string) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	delete(t.m, k) // want `written in Drop while mu is only read-locked`
+}

@@ -1,0 +1,54 @@
+// Package a seeds a cross-package lock-order cycle: Apply holds Node.mu
+// while fanning out to Mirror.Push, whose only loaded implementation
+// (lockorder/b.Rep) takes its own lock and calls back into Apply. The cycle
+// only exists through interface devirtualization plus transitive summaries
+// — neither package alone ever takes two locks.
+package a
+
+import "sync"
+
+type Mirror interface {
+	Push()
+}
+
+type Node struct {
+	mu    sync.Mutex
+	peers []Mirror
+}
+
+func (n *Node) Apply() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range n.peers {
+		p.Push() // want `potential deadlock: lock-order cycle among lockorder/a\.Node\.mu, lockorder/b\.Rep\.mu`
+	}
+}
+
+// SafeApply releases the lock before fanning out, so the calls contribute
+// no ordering edges.
+func (n *Node) SafeApply() {
+	n.mu.Lock()
+	peers := n.peers
+	n.mu.Unlock()
+	for _, p := range peers {
+		p.Push()
+	}
+}
+
+// Gate pins the CALLER-marker rule: waitUnlocked's unbalanced Unlock drops
+// the caller's hold, so its re-acquisition must not be attributed to Serve
+// — a broken marker would report a bogus Gate.mu self-cycle here.
+type Gate struct {
+	mu sync.Mutex
+}
+
+func (g *Gate) waitUnlocked() {
+	g.mu.Unlock()
+	g.mu.Lock()
+}
+
+func (g *Gate) Serve() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.waitUnlocked()
+}

@@ -1,0 +1,21 @@
+// Package b closes the seeded cycle: Push wraps a callback into
+// a.Node.Apply inside Rep.mu — the reverse of the order Apply itself
+// establishes.
+package b
+
+import (
+	"sync"
+
+	"lockorder/a"
+)
+
+type Rep struct {
+	mu   sync.Mutex
+	node *a.Node
+}
+
+func (r *Rep) Push() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.node.Apply()
+}

@@ -1,0 +1,9 @@
+// Package ids is the cross-package codec helper the wiresym fixture inlines
+// through the call graph. WriteID and ReadID also pair with each other.
+package ids
+
+import "minuet/internal/wire"
+
+func WriteID(b *wire.Buffer, id uint64) { b.U64(id) }
+
+func ReadID(r *wire.Reader) uint64 { return r.U64() }

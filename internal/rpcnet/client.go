@@ -196,6 +196,7 @@ func (c *Client) muxConnFor(to netsim.NodeID) (*muxConn, error) {
 	mc = newMuxConn(conn, p.window)
 	p.conns[idx] = mc
 	p.mu.Unlock()
+	//lint:ignore leakcheck readLoop's shutdown signal is its socket: peer.close closes the conn, the blocked Read returns, and the loop exits via mc.fail
 	go mc.readLoop()
 	return mc, nil
 }

@@ -136,12 +136,14 @@ func (m *Memnode) WALStats() wal.Stats {
 	return m.wal.Stats()
 }
 
-// Close releases the memnode's log, syncing it first. Volatile memnodes
-// need no Close.
+// Close releases the memnode's log, syncing it first. Any in-flight
+// background checkpoint is waited out so it cannot race the log teardown.
+// Volatile memnodes need no Close.
 func (m *Memnode) Close() error {
 	if m.wal == nil {
 		return nil
 	}
+	m.bg.Wait()
 	return m.wal.Close()
 }
 
@@ -182,7 +184,9 @@ func (m *Memnode) maybeCheckpoint() {
 	if !m.ckptBusy.CompareAndSwap(false, true) {
 		return
 	}
+	m.bg.Add(1)
 	go func() {
+		defer m.bg.Done()
 		defer m.ckptBusy.Store(false)
 		// A checkpoint failure poisons the log; the next commit surfaces
 		// it as fail-stop. Nothing to do here.
@@ -246,6 +250,13 @@ type enc struct{ b []byte }
 func (e *enc) u8(v uint8)   { e.b = append(e.b, v) }
 func (e *enc) u32(v uint32) { e.b = binary.LittleEndian.AppendUint32(e.b, v) }
 func (e *enc) u64(v uint64) { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *enc) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
 func (e *enc) bytes(p []byte) {
 	e.u32(uint32(len(p)))
 	e.b = append(e.b, p...)
@@ -286,6 +297,8 @@ func (d *dec) u64() uint64 {
 	return v
 }
 
+func (d *dec) bool() bool { return d.u8() == 1 }
+
 // count decodes a u32 element count and bounds it by the bytes remaining:
 // each element occupies at least minElem encoded bytes, so a larger count is
 // a corrupt record — rejected here, before the caller allocates for it.
@@ -318,11 +331,7 @@ func encodeApply(txid uint64, staged bool, rep *ReplicaApplyReq) []byte {
 	e := &enc{b: make([]byte, 0, 64)}
 	e.u8(recApply)
 	e.u64(txid)
-	if staged {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
+	e.bool(staged)
 	e.u32(uint32(len(rep.Addrs)))
 	for i := range rep.Addrs {
 		e.u64(uint64(rep.Addrs[i]))
@@ -362,83 +371,130 @@ func encodeResolve(txid uint64, aborted bool) []byte {
 	e := &enc{b: make([]byte, 0, 16)}
 	e.u8(recResolve)
 	e.u64(txid)
-	if aborted {
-		e.u8(1)
-	} else {
-		e.u8(0)
-	}
+	e.bool(aborted)
 	return e.b
+}
+
+// applyRecord is the parsed form of a recApply redo record, the decode
+// counterpart of encodeApply.
+type applyRecord struct {
+	txid     uint64
+	staged   bool
+	addrs    []Addr
+	versions []uint64
+	data     [][]byte
+}
+
+func decodeApply(d *dec) applyRecord {
+	var r applyRecord
+	_ = d.u8() // record tag; the dispatcher switched on it already
+	r.txid = d.u64()
+	r.staged = d.bool()
+	n := d.count(20) // addr + version + data length prefix per item
+	for i := 0; i < n; i++ {
+		r.addrs = append(r.addrs, Addr(d.u64()))
+		r.versions = append(r.versions, d.u64())
+		r.data = append(r.data, d.bytes())
+	}
+	return r
+}
+
+// stageRecord is the parsed form of a recStage redo record, the decode
+// counterpart of encodeStage. node stamps the decoded writes' owner.
+type stageRecord struct {
+	txid         uint64
+	addrs        []Addr
+	participants []NodeID
+	writes       []WriteItem
+}
+
+func decodeStage(d *dec, node NodeID) stageRecord {
+	var r stageRecord
+	_ = d.u8() // record tag
+	r.txid = d.u64()
+	r.addrs = make([]Addr, d.count(8))
+	for i := range r.addrs {
+		r.addrs[i] = Addr(d.u64())
+	}
+	r.participants = make([]NodeID, d.count(4))
+	for i := range r.participants {
+		r.participants[i] = NodeID(d.u32())
+	}
+	r.writes = make([]WriteItem, d.count(12))
+	for i := range r.writes {
+		r.writes[i].Node = node
+		r.writes[i].Addr = Addr(d.u64())
+		r.writes[i].Data = d.bytes()
+	}
+	return r
+}
+
+// resolveRecord is the parsed form of a recResolve redo record, the decode
+// counterpart of encodeResolve.
+type resolveRecord struct {
+	txid    uint64
+	aborted bool
+}
+
+func decodeResolve(d *dec) resolveRecord {
+	var r resolveRecord
+	_ = d.u8() // record tag
+	r.txid = d.u64()
+	r.aborted = d.bool()
+	return r
 }
 
 // replayRecordLocked applies one redo record to a recovering memnode. Replay is
 // idempotent (versions guard items), so re-replaying a suffix after an
-// interrupted recovery converges.
+// interrupted recovery converges. Decoding is delegated to the decode*
+// twins of the encode* functions above, so the wiresym analyzer checks the
+// two directions stay in step; this dispatcher only applies parsed records.
 func (m *Memnode) replayRecordLocked(p []byte) error {
+	if len(p) == 0 {
+		return errBadRecord
+	}
 	d := &dec{b: p}
-	switch d.u8() {
+	switch p[0] {
 	case recApply:
-		txid := d.u64()
-		staged := d.u8() == 1
-		n := d.count(20) // addr + version + data length prefix per item
+		r := decodeApply(d)
 		if d.err {
 			return errBadRecord
 		}
-		for i := 0; i < n; i++ {
-			addr := Addr(d.u64())
-			ver := d.u64()
-			data := d.bytes()
-			if d.err {
-				return errBadRecord
-			}
-			if cur := m.items[addr]; cur == nil || cur.version < ver {
-				m.items[addr] = &item{data: data, version: ver}
+		for i, addr := range r.addrs {
+			if cur := m.items[addr]; cur == nil || cur.version < r.versions[i] {
+				m.items[addr] = &item{data: r.data[i], version: r.versions[i]}
 			}
 		}
-		if staged {
-			delete(m.staged, txid)
-			m.outcomes.record(txid, TxnCommitted)
+		if r.staged {
+			delete(m.staged, r.txid)
+			m.outcomes.record(r.txid, TxnCommitted)
 		}
 	case recStage:
-		txid := d.u64()
-		addrs := make([]Addr, d.count(8))
-		for i := range addrs {
-			addrs[i] = Addr(d.u64())
-		}
-		participants := make([]NodeID, d.count(4))
-		for i := range participants {
-			participants[i] = NodeID(d.u32())
-		}
-		writes := make([]WriteItem, d.count(12))
-		for i := range writes {
-			writes[i].Node = m.id
-			writes[i].Addr = Addr(d.u64())
-			writes[i].Data = d.bytes()
-		}
+		r := decodeStage(d, m.id)
 		if d.err {
 			return errBadRecord
 		}
-		if _, resolved := m.outcomes.get(txid); resolved {
+		if _, resolved := m.outcomes.get(r.txid); resolved {
 			return nil // resolved later in the log; never resurrect
 		}
-		m.staged[txid] = &staged{
-			writes:       writes,
-			addrs:        addrs,
-			participants: participants,
+		m.staged[r.txid] = &staged{
+			writes:       r.writes,
+			addrs:        r.addrs,
+			participants: r.participants,
 			preparedAt:   replayPreparedAt(),
 		}
 	case recResolve:
-		txid := d.u64()
-		aborted := d.u8() == 1
+		r := decodeResolve(d)
 		if d.err {
 			return errBadRecord
 		}
-		if st, ok := m.staged[txid]; ok {
-			m.releaseLocked(txid, st)
+		if st, ok := m.staged[r.txid]; ok {
+			m.releaseLocked(r.txid, st)
 		}
-		if aborted {
-			m.outcomes.record(txid, TxnAborted)
+		if r.aborted {
+			m.outcomes.record(r.txid, TxnAborted)
 		} else {
-			m.outcomes.record(txid, TxnCommitted)
+			m.outcomes.record(r.txid, TxnCommitted)
 		}
 	default:
 		return errBadRecord

@@ -50,6 +50,7 @@ type Memnode struct {
 	durOpts  DurOptions
 	failed   bool // guarded by mu
 	ckptBusy atomic.Bool
+	bg       sync.WaitGroup // in-flight background checkpoint; Close waits
 
 	commits    int64 // guarded by mu
 	aborts     int64 // guarded by mu
